@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper via
+:mod:`repro.eval.experiments`, times it with pytest-benchmark (a single
+round — the interesting output is the data, not the wall-clock), prints
+the rows/series in the same shape the paper reports, and asserts the
+qualitative claims that the reproduction is expected to preserve.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

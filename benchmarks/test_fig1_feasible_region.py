@@ -1,0 +1,29 @@
+"""Figure 1: feasible region of EESMR (WiFi) vs the trusted baseline (4G)."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_feasible_region(benchmark):
+    region = run_once(
+        benchmark,
+        exp.fig1_feasible_region,
+        message_sizes=tuple(range(256, 4096 + 1, 512)),
+        node_counts=tuple(range(4, 41, 4)),
+    )
+    print("\nFigure 1 — EESMR minus trusted-baseline energy (negative = EESMR wins):")
+    print(
+        format_table(
+            ["payload (B)", "crossover n", "min diff (J)", "max diff (J)", "EESMR-favourable"],
+            [
+                [r["message_bytes"], r["crossover_n"], r["min_difference_j"], r["max_difference_j"], f"{r['favourable_fraction']:.0%}"]
+                for r in region.summary_rows()
+            ],
+        )
+    )
+    # The region genuinely has two sides, EESMR winning at small n.
+    assert 0.0 < region.favourable_fraction < 1.0
+    assert region.is_favourable(1024, 4)
+    assert not region.is_favourable(1024, 40)

@@ -1,0 +1,27 @@
+"""Figure 2a: BLE k-cast failure rate vs energy (redundancy)."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2a_kcast_reliability(benchmark):
+    curves = run_once(benchmark, exp.fig2a_kcast_reliability, ks=(1, 3, 7), max_redundancy=10)
+    print("\nFigure 2a — k-cast failure rate vs energy:")
+    rows = []
+    for k, points in curves.items():
+        for p in points:
+            rows.append([k, p.redundancy, p.sender_energy_mj, p.receiver_energy_mj, f"{p.failure_percent:.4f}%"])
+    print(format_table(["k", "redundancy", "sender mJ", "receiver mJ", "failure"], rows))
+    # Shapes: failure decreases with energy, larger k needs more energy for
+    # the same reliability, and the paper's four-nines operating point for
+    # k = 7 costs ~5.3 mJ (sender) / ~9.98 mJ (receiver).
+    for k, points in curves.items():
+        failures = [p.failure_probability for p in points]
+        assert failures == sorted(failures, reverse=True)
+    four_nines_k7 = next(p for p in curves[7] if p.reliability >= 0.9999)
+    assert abs(four_nines_k7.sender_energy_mj - 5.3) < 0.3
+    assert abs(four_nines_k7.receiver_energy_mj - 9.98) < 0.5
+    four_nines_k1 = next(p for p in curves[1] if p.reliability >= 0.9999)
+    assert four_nines_k1.sender_energy_mj <= four_nines_k7.sender_energy_mj

@@ -1,0 +1,28 @@
+"""Figure 2b: reliable k-casts vs equivalent GATT unicasts."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2b_unicast_vs_multicast(benchmark):
+    rows = run_once(benchmark, exp.fig2b_unicast_vs_multicast, payloads=(100, 200, 300, 400, 500), k=7)
+    print("\nFigure 2b — unicast vs 99.99% k-cast energy (mJ), k = 7:")
+    print(
+        format_table(
+            ["payload (B)", "UC send d=1", "UC send d=7", "UC recv d=1", "k-cast send", "k-cast recv"],
+            [
+                [r["payload_bytes"], r["unicast_send_dout1_mj"], r["unicast_send_dout_k_mj"], r["unicast_recv_din1_mj"], r["kcast_send_mj"], r["kcast_recv_mj"]]
+                for r in rows
+            ],
+        )
+    )
+    # k-cast beats 7 unicasts at small payloads; the advantage shrinks with size.
+    assert rows[0]["kcast_send_mj"] < rows[0]["unicast_send_dout_k_mj"]
+    first_ratio = rows[0]["unicast_send_dout_k_mj"] / rows[0]["kcast_send_mj"]
+    last_ratio = rows[-1]["unicast_send_dout_k_mj"] / rows[-1]["kcast_send_mj"]
+    assert last_ratio < first_ratio
+    # A single unicast is always cheaper than a 7-cast (the paper's d_out=1 series).
+    for r in rows:
+        assert r["unicast_send_dout1_mj"] < r["kcast_send_mj"]

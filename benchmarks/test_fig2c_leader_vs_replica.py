@@ -1,0 +1,26 @@
+"""Figure 2c: EESMR leader vs replica energy per SMR as k grows (n = 15)."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2c_leader_vs_replica(benchmark):
+    points = run_once(
+        benchmark, exp.fig2c_leader_vs_replica, n=15, ks=(2, 3, 4, 5, 6, 7), payload_bytes=16, blocks=3
+    )
+    print("\nFigure 2c — EESMR energy per SMR, |b| = 16 B, n = 15 (mJ):")
+    print(
+        format_table(
+            ["k", "leader", "replica (mean)", "all correct nodes"],
+            [[p.k, p.leader_mj_per_block, p.replica_mj_per_block, p.total_mj_per_block] for p in points],
+        )
+    )
+    # Shapes: energy grows with k (k incoming edges), leader slightly above replicas.
+    leaders = [p.leader_mj_per_block for p in points]
+    replicas = [p.replica_mj_per_block for p in points]
+    assert leaders == sorted(leaders)
+    assert replicas == sorted(replicas)
+    for p in points:
+        assert p.leader_mj_per_block > p.replica_mj_per_block

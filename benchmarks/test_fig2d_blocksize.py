@@ -1,0 +1,28 @@
+"""Figure 2d: EESMR leader energy per SMR for different block sizes."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2d_block_sizes(benchmark):
+    series = run_once(
+        benchmark, exp.fig2d_block_sizes, n=15, ks=(2, 3, 4, 5, 6, 7), payloads=(16, 128, 256), blocks=3
+    )
+    print("\nFigure 2d — EESMR leader energy per SMR vs k and block size (mJ):")
+    ks = [p.k for p in series[16]]
+    rows = []
+    for k_index, k in enumerate(ks):
+        rows.append([k] + [series[payload][k_index].leader_mj_per_block for payload in (16, 128, 256)])
+    print(format_table(["k", "|b|=16 B", "|b|=128 B", "|b|=256 B"], rows))
+    # Shapes: monotone in k for every block size, and monotone in block size for every k.
+    for payload, points in series.items():
+        leader = [p.leader_mj_per_block for p in points]
+        assert leader == sorted(leader), f"not monotone in k for payload {payload}"
+    for k_index in range(len(ks)):
+        assert (
+            series[16][k_index].leader_mj_per_block
+            < series[128][k_index].leader_mj_per_block
+            < series[256][k_index].leader_mj_per_block
+        )

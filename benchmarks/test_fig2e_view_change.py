@@ -1,0 +1,32 @@
+"""Figure 2e: EESMR view-change energy (equivocation / no progress / honest)."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2e_view_change_energy(benchmark):
+    points = run_once(benchmark, exp.fig2e_view_change_energy, n=15, fs=(1, 2, 3, 4, 5, 6), blocks=2)
+    print("\nFigure 2e — energy per view change vs f (n = 15, k = f + 1, mJ):")
+    by_key = {(p.scenario, p.f): p for p in points}
+    rows = []
+    for f in (1, 2, 3, 4, 5, 6):
+        rows.append(
+            [
+                f,
+                by_key[("equivocation", f)].mean_correct_mj,
+                by_key[("no_progress", f)].mean_correct_mj,
+                by_key[("honest_smr", f)].mean_correct_mj,
+            ]
+        )
+    print(format_table(["f", "equivocation VC", "no-progress VC", "honest SMR"], rows))
+    # Shapes: both view-change scenarios cost (much) more than honest SMR and
+    # grow with f; every scenario completed exactly one view change.
+    for f in (1, 2, 3, 4, 5, 6):
+        assert by_key[("no_progress", f)].mean_correct_mj > 2 * by_key[("honest_smr", f)].mean_correct_mj
+        assert by_key[("equivocation", f)].mean_correct_mj > 2 * by_key[("honest_smr", f)].mean_correct_mj
+        assert by_key[("no_progress", f)].view_changes == 1
+        assert by_key[("equivocation", f)].view_changes == 1
+    assert by_key[("no_progress", 6)].mean_correct_mj > by_key[("no_progress", 1)].mean_correct_mj
+    assert by_key[("equivocation", 6)].mean_correct_mj > by_key[("equivocation", 1)].mean_correct_mj

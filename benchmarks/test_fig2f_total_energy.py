@@ -1,0 +1,29 @@
+"""Figure 2f: total correct-node energy per SMR vs n, EESMR vs Sync HotStuff."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2f_total_energy_vs_n(benchmark):
+    points = run_once(benchmark, exp.fig2f_total_energy_vs_n, ns=(4, 5, 6, 7, 8, 9), ks=(3, 5), blocks=3)
+    print("\nFigure 2f — total correct-node energy per SMR (mJ):")
+    by_key = {(p.protocol, p.k, p.n): p for p in points}
+    rows = []
+    for n in (4, 5, 6, 7, 8, 9):
+        row = [n]
+        for protocol in ("eesmr", "sync-hotstuff"):
+            for k in (3, 5):
+                point = by_key.get((protocol, k, n))
+                row.append(point.total_mj_per_block if point else None)
+        rows.append(row)
+    print(format_table(["n", "EESMR k=3", "EESMR k=5", "SyncHS k=3", "SyncHS k=5"], rows))
+    # Shapes: EESMR below Sync HotStuff at every point; both grow with n
+    # (totals sum over nodes) but Sync HotStuff grows faster.
+    for (protocol, k, n), point in by_key.items():
+        if protocol == "eesmr" and ("sync-hotstuff", k, n) in by_key:
+            assert point.total_mj_per_block < by_key[("sync-hotstuff", k, n)].total_mj_per_block
+    eesmr_growth = by_key[("eesmr", 3, 9)].total_mj_per_block / by_key[("eesmr", 3, 4)].total_mj_per_block
+    shs_growth = by_key[("sync-hotstuff", 3, 9)].total_mj_per_block / by_key[("sync-hotstuff", 3, 4)].total_mj_per_block
+    assert shs_growth > eesmr_growth

@@ -1,0 +1,38 @@
+"""Figure 3: leader energy to tolerate f faults, EESMR vs Sync HotStuff (n = 13)."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_eesmr_vs_sync_hotstuff(benchmark):
+    points = run_once(benchmark, exp.fig3_eesmr_vs_sync_hotstuff, n=13, fs=(1, 2, 3, 4, 5, 6), blocks=2)
+    by_key = {(p.protocol, p.scenario, p.f): p for p in points}
+    print("\nFigure 3 — leader energy vs f (n = 13, k = f + 1, mJ):")
+    rows = []
+    for f in (1, 2, 3, 4, 5, 6):
+        rows.append(
+            [
+                f,
+                by_key[("eesmr", "honest_smr", f)].leader_mj,
+                by_key[("sync-hotstuff", "honest_smr", f)].leader_mj,
+                by_key[("eesmr", "view_change", f)].leader_mj,
+                by_key[("sync-hotstuff", "view_change", f)].leader_mj,
+            ]
+        )
+    print(format_table(["f", "EESMR honest", "SyncHS honest", "EESMR VC", "SyncHS VC"], rows))
+    for f in (1, 2, 3, 4, 5, 6):
+        # Honest case: EESMR beats Sync HotStuff at every fault level.
+        assert (
+            by_key[("eesmr", "honest_smr", f)].leader_mj
+            < by_key[("sync-hotstuff", "honest_smr", f)].leader_mj
+        )
+        # View change: the ordering flips — EESMR pays for its cheap steady state.
+        assert (
+            by_key[("eesmr", "view_change", f)].leader_mj
+            > by_key[("sync-hotstuff", "view_change", f)].leader_mj
+        )
+    # Energy grows with f (k = f + 1 incoming edges).
+    eesmr_honest = [by_key[("eesmr", "honest_smr", f)].leader_mj for f in (1, 6)]
+    assert eesmr_honest[1] > eesmr_honest[0]

@@ -1,0 +1,23 @@
+"""Table 2: signing/verification energy per signature scheme."""
+
+from repro.eval import experiments as exp
+from repro.eval.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_signature_energy(benchmark):
+    rows = run_once(benchmark, exp.table2_signature_energy)
+    print("\nTable 2 — signature energy (J):")
+    print(
+        format_table(
+            ["scheme", "parameters", "sign (J)", "verify (J)"],
+            [[r["scheme"], r["parameters"], r["sign_j"], r["verify_j"]] for r in rows],
+        )
+    )
+    by_name = {r["scheme"]: r for r in rows}
+    # RSA-1024 is the verification-cheapest scheme — the paper's pick for SMR.
+    assert min(rows, key=lambda r: r["verify_j"])["scheme"] == "rsa-1024"
+    # ECDSA verification is more expensive than its signing; RSA is the reverse.
+    assert by_name["ecdsa-secp256k1"]["verify_j"] > by_name["ecdsa-secp256k1"]["sign_j"]
+    assert by_name["rsa-1024"]["verify_j"] < by_name["rsa-1024"]["sign_j"]

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Precision-agriculture scenario: a field of soil sensors agreeing on readings.
+
+The paper's introduction motivates EESMR with exactly this setting (the DHS
+precision-agriculture report): a partially connected network of low-power
+sensors must agree on a shared log of readings even if some sensors are
+compromised, and the protocol's energy overhead determines how long the
+deployment survives on battery.
+
+The script runs the same field twice — once with an honest coordinator and
+once where the coordinator is compromised and stops proposing — and
+compares committed readings, energy per reading and projected battery life.
+
+Run with:  python examples/farm_sensor_network.py
+"""
+
+from repro import DeploymentSpec, FaultPlan, run_protocol
+from repro.eval.workloads import SensorReadingWorkload
+
+#: A common 18650-class battery for field sensors, in Joules.
+BATTERY_CAPACITY_J = 10_000.0
+
+
+def run_field(fault_plan: FaultPlan, label: str) -> None:
+    n_sensors = 10
+    workload = SensorReadingWorkload(n_sensors=n_sensors, reading_bytes=16, seed=7)
+    epochs = 4
+
+    spec = DeploymentSpec(
+        protocol="eesmr",
+        n=n_sensors,
+        f=3,
+        k=4,                      # each sensor's radio reaches its 4 ring neighbours
+        target_height=epochs,     # one block per measurement epoch
+        batch_size=n_sensors,     # a block carries one reading per sensor
+        command_payload_bytes=16,
+        signature_scheme="rsa-1024",
+        fault_plan=fault_plan,
+        seed=2026,
+    )
+    result = run_protocol(spec)
+
+    per_epoch_mj = result.energy_per_block_mj / max(1, 1)
+    per_node_per_epoch_mj = result.energy_per_block_mj / (n_sensors - len(fault_plan.faulty))
+    # One agreement per hour, as in the paper's closing observation.
+    epochs_per_battery = BATTERY_CAPACITY_J / (per_node_per_epoch_mj / 1000.0)
+
+    print(f"== {label} ==")
+    print(f"committed measurement epochs : {result.committed_blocks} (target {epochs})")
+    print(f"safety                       : {'OK' if result.safety.consistent else 'VIOLATED'}")
+    print(f"view changes                 : {result.view_changes}")
+    print(f"energy per epoch (all nodes) : {result.energy_per_block_mj:.1f} mJ")
+    print(f"energy per epoch per sensor  : {per_node_per_epoch_mj:.1f} mJ")
+    print(f"epochs per battery charge    : {epochs_per_battery:,.0f}")
+    print(f"(~{epochs_per_battery / 24:.0f} days at one agreement per hour)")
+    print()
+
+
+def main() -> None:
+    print("Soil-moisture sensor field: 10 sensors, BLE k-casts, RSA-1024 signatures\n")
+    run_field(FaultPlan(), "Honest coordinator (steady state only)")
+    run_field(
+        FaultPlan(faulty=(0,), behaviour="silent_leader"),
+        "Compromised coordinator (stops proposing; view change to sensor 1)",
+    )
+    print(
+        "The second run pays the view-change premium once and then returns to\n"
+        "the cheap steady state under the new coordinator — the trade-off the\n"
+        "paper's Section 4 analysis argues is the right one when faults are rare."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments that cannot use PEP 517 editable installs."""
+from setuptools import setup
+
+setup()

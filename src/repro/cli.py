@@ -1,0 +1,136 @@
+"""Command-line interface for running protocol deployments and experiments.
+
+Installed as ``python -m repro.cli`` (or imported and called with an
+argument list, which is how the tests drive it).  Three subcommands cover
+the common workflows:
+
+* ``run``         — execute one protocol deployment and print its metrics;
+* ``experiment``  — regenerate one of the paper's tables/figures by name;
+* ``feasibility`` — print the Fig. 1 feasible-region summary for a payload
+  range and system-size range.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core.adversary import FaultPlan
+from repro.eval import experiments
+from repro.eval.runner import DeploymentSpec, run_protocol
+from repro.eval.tables import format_table
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENTS = {
+    "table1": experiments.table1_media_energy,
+    "table2": experiments.table2_signature_energy,
+    "table3": experiments.table3_complexity,
+    "fig2a": experiments.fig2a_kcast_reliability,
+    "fig2b": experiments.fig2b_unicast_vs_multicast,
+    "fig2c": experiments.fig2c_leader_vs_replica,
+    "fig2e": experiments.fig2e_view_change_energy,
+    "fig2f": experiments.fig2f_total_energy_vs_n,
+    "headline": experiments.headline_ratios,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one protocol deployment")
+    run.add_argument("--protocol", default="eesmr", choices=["eesmr", "sync-hotstuff", "optsync", "trusted-baseline"])
+    run.add_argument("--nodes", "-n", type=int, default=7)
+    run.add_argument("--faults", "-f", type=int, default=2)
+    run.add_argument("--kcast", "-k", type=int, default=3)
+    run.add_argument("--blocks", type=int, default=5)
+    run.add_argument("--payload-bytes", type=int, default=16)
+    run.add_argument("--scheme", default="rsa-1024")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--leader-fault",
+        choices=["none", "silent_leader", "equivocate", "crash"],
+        default="none",
+        help="make the view-1 leader Byzantine",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    feas = sub.add_parser("feasibility", help="Fig. 1 feasible-region summary")
+    feas.add_argument("--max-nodes", type=int, default=40)
+    feas.add_argument("--payloads", type=int, nargs="+", default=[256, 1024, 4096])
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    fault_plan = FaultPlan()
+    if args.leader_fault != "none":
+        fault_plan = FaultPlan(faulty=(0,), behaviour=args.leader_fault)
+    spec = DeploymentSpec(
+        protocol=args.protocol,
+        n=args.nodes,
+        f=args.faults,
+        k=args.kcast,
+        target_height=args.blocks,
+        command_payload_bytes=args.payload_bytes,
+        signature_scheme=args.scheme,
+        seed=args.seed,
+        fault_plan=fault_plan,
+    )
+    result = run_protocol(spec)
+    print(f"protocol            : {args.protocol}")
+    print(f"n / f / k           : {spec.n} / {spec.f} / {spec.k}")
+    print(f"committed blocks    : {result.committed_blocks}")
+    print(f"safety              : {'OK' if result.safety.consistent else 'VIOLATED'}")
+    print(f"view changes        : {result.view_changes}")
+    print(f"energy per block    : {result.energy_per_block_mj:.1f} mJ (correct nodes)")
+    print(f"leader per block    : {result.leader_energy_per_block_mj:.1f} mJ")
+    print(f"sign / verify ops   : {result.sign_operations} / {result.verify_operations}")
+    return 0 if result.safety.consistent else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = EXPERIMENTS[args.name]()
+    if isinstance(result, list) and result and isinstance(result[0], dict):
+        headers = list(result[0].keys())
+        print(format_table(headers, [[row[h] for h in headers] for row in result]))
+    elif isinstance(result, list):
+        for item in result:
+            print(item)
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            print(f"{key}: {value}")
+    else:
+        print(result)
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    region = experiments.fig1_feasible_region(
+        message_sizes=tuple(args.payloads),
+        node_counts=tuple(range(4, args.max_nodes + 1, 2)),
+    )
+    rows = [
+        [r["message_bytes"], r["crossover_n"], f"{r['favourable_fraction']:.0%}"]
+        for r in region.summary_rows()
+    ]
+    print(format_table(["payload (B)", "EESMR loses from n =", "EESMR-favourable share"], rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "feasibility":
+        return _cmd_feasibility(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Baseline SMR protocols the paper compares EESMR against."""
+
+from repro.core.baselines.sync_hotstuff import SyncHotStuffReplica
+from repro.core.baselines.optsync import OptSyncReplica
+from repro.core.baselines.trusted_baseline import TrustedBaselineReplica, TrustedControlNode
+
+__all__ = [
+    "SyncHotStuffReplica",
+    "OptSyncReplica",
+    "TrustedBaselineReplica",
+    "TrustedControlNode",
+]

@@ -1,0 +1,163 @@
+"""The trusted-control-node baseline protocol (Section 5.1 of the paper).
+
+The baseline assumes an online trusted node (a control server, base
+station or satellite uplink) that every CPS node can reach over a more
+expensive medium (the paper's example: 4G, while the CPS nodes could talk
+to each other over WiFi or BLE).  Per consensus unit:
+
+* every CPS node uploads its pending commands to the trusted node;
+* the trusted node orders them into a block, signs it once, and sends the
+  signed block back to every CPS node;
+* each CPS node verifies the single signature and commits.
+
+There is no inter-replica communication at all, so the protocol is
+trivially safe and live given the trust assumption — its cost is entirely
+the per-node up/down traffic on the expensive medium, which is what the
+feasible-region analysis of Fig. 1 compares EESMR against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.blocks import Block, make_block
+from repro.core.client import AckRouter
+from repro.core.config import ProtocolConfig
+from repro.core.messages import MessageType, ProtocolMessage
+from repro.core.replica_base import BaseReplica
+from repro.core.types import NodeId
+from repro.crypto.signatures import SignatureScheme
+from repro.energy.meter import EnergyMeter
+from repro.net.network import SimulatedNetwork
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class TrustedControlNode(Process):
+    """The trusted node: collects requests, orders them, signs, replies.
+
+    Its own energy is *not* part of the comparison (it is assumed to be
+    mains-powered); only the CPS replicas' meters matter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: NodeId,
+        config: ProtocolConfig,
+        scheme: SignatureScheme,
+        network: SimulatedNetwork,
+        round_interval: float,
+    ) -> None:
+        super().__init__(sim, pid, name=f"control{pid}")
+        self.config = config
+        self.scheme = scheme
+        self.network = network
+        self.round_interval = round_interval
+        self.chain_tip: Block = None  # type: ignore[assignment]
+        self.pending: List = []
+        self.replica_ids: List[NodeId] = []
+        self.blocks_ordered = 0
+
+    def start(self) -> None:
+        from repro.core.blocks import GENESIS
+
+        self.chain_tip = GENESIS
+        self.after(self.round_interval, self._order_round, label="tb:order")
+
+    def on_message(self, sender: int, message: Any) -> None:
+        if not isinstance(message, ProtocolMessage):
+            return
+        if message.msg_type != MessageType.TB_REQUEST:
+            return
+        commands = message.data
+        if isinstance(commands, (list, tuple)):
+            self.pending.extend(commands)
+
+    def _order_round(self) -> None:
+        if self.crashed:
+            return
+        if self.blocks_ordered >= self.config.target_height:
+            return
+        batch = self.pending[: self.config.batch_size]
+        self.pending = self.pending[len(batch):]
+        block = make_block(
+            parent=self.chain_tip,
+            proposer=self.pid,
+            view=1,
+            round_number=self.blocks_ordered + 1,
+            commands=batch,
+        )
+        self.chain_tip = block
+        self.blocks_ordered += 1
+        order = ProtocolMessage(
+            msg_type=MessageType.TB_ORDER,
+            view=1,
+            round=block.height,
+            sender=self.pid,
+            data=block,
+            view_sig=self.scheme.sign(self.pid, ("view", MessageType.TB_ORDER.value, 1)),
+            data_sig=self.scheme.sign(self.pid, ("data", block.block_hash, 1)),
+        )
+        for replica_id in self.replica_ids:
+            self.network.send(self.pid, replica_id, order)
+        if self.blocks_ordered < self.config.target_height:
+            self.after(self.round_interval, self._order_round, label="tb:order")
+
+
+class TrustedBaselineReplica(BaseReplica):
+    """A CPS node in the trusted-baseline protocol."""
+
+    protocol_name = "trusted-baseline"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: NodeId,
+        config: ProtocolConfig,
+        scheme: SignatureScheme,
+        network: SimulatedNetwork,
+        meter: EnergyMeter,
+        control_node_id: NodeId,
+        ack_router: Optional[AckRouter] = None,
+    ) -> None:
+        super().__init__(sim, pid, config, scheme, network, meter, ack_router)
+        self.control_node_id = control_node_id
+
+    def start(self) -> None:
+        self._upload_pending()
+
+    def _upload_pending(self) -> None:
+        """Send pending commands to the trusted node over the expensive medium."""
+        commands = self.txpool.peek_batch(self.config.batch_size)
+        request = self.sign_message(MessageType.TB_REQUEST, list(commands), view=1)
+        self.send(self.control_node_id, request)
+
+    def on_message(self, sender: int, message: Any) -> None:
+        if not isinstance(message, ProtocolMessage):
+            return
+        if message.msg_type != MessageType.TB_ORDER or sender != self.control_node_id:
+            return
+        block = message.data
+        if not isinstance(block, Block):
+            return
+        # One verification of the trusted node's signature per block.
+        if message.data_sig is None:
+            return
+        if self.config.charge_crypto_energy:
+            self.meter.charge_verify(self.scheme.verify_energy_j, self.sim.now, "tb-order")
+        if not self.scheme.verify(self.pid, ("data", block.block_hash, 1), message.data_sig):
+            return
+        self.store_block(block)
+        if self.blocks.has_ancestry(block):
+            self.commit_chain(block)
+        # Upload the next batch for the following consensus round.
+        if self.committed_height < self.config.target_height:
+            self._upload_pending()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "committed_height": self.committed_height,
+            "blocks_committed": self.stats.blocks_committed,
+        }

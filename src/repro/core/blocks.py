@@ -1,0 +1,180 @@
+"""Blocks, the hash-chained unit of the linearizable log.
+
+A block carries a batch of client commands and the hash of its parent, as
+in Section 2 of the paper ("Blocks").  The genesis block ``G`` has height 0
+and every other block's height is its parent's height plus one.  Because
+blocks are hash-chained, a vote (or commit) for a block implicitly endorses
+all of its ancestors — the property EESMR's "voting in the head" and the
+view-change certificate logic both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.types import Batch, Command, NodeId, Round, View
+from repro.crypto.hashing import sha256_hex
+
+#: Hash placeholder used as the genesis block's parent.
+NO_PARENT = "genesis"
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block of the replicated log."""
+
+    parent_hash: str
+    height: int
+    view: View
+    round: Round
+    proposer: NodeId
+    batch: Batch = field(default_factory=Batch)
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError("height cannot be negative")
+
+    @property
+    def block_hash(self) -> str:
+        """Deterministic content hash (cached per instance)."""
+        cached = _HASH_CACHE.get(id(self))
+        if cached is not None and cached[0] is self:
+            return cached[1]
+        digest = sha256_hex(
+            {
+                "parent": self.parent_hash,
+                "height": self.height,
+                "view": self.view,
+                "round": self.round,
+                "proposer": self.proposer,
+                "commands": list(self.batch.command_ids),
+            }
+        )
+        _HASH_CACHE[id(self)] = (self, digest)
+        return digest
+
+    @property
+    def wire_size_bytes(self) -> int:
+        """Bytes of the block on the wire: header + parent hash + payload."""
+        header = 4 + 4 + 4 + 4  # height, view, round, proposer
+        return header + 32 + self.batch.wire_size_bytes
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.parent_hash == NO_PARENT and self.height == 0
+
+    def short_hash(self) -> str:
+        """First 10 hex chars of the block hash (for logs and test messages)."""
+        return self.block_hash[:10]
+
+
+# A tiny identity-keyed cache so repeated block_hash calls do not re-serialize.
+_HASH_CACHE: Dict[int, tuple] = {}
+
+
+def make_genesis() -> Block:
+    """The genesis block ``G`` shared by all nodes (height 0, view 0)."""
+    return Block(parent_hash=NO_PARENT, height=0, view=0, round=0, proposer=-1)
+
+
+GENESIS = make_genesis()
+
+
+def make_block(
+    parent: Block,
+    proposer: NodeId,
+    view: View,
+    round_number: Round,
+    commands: Optional[List[Command]] = None,
+) -> Block:
+    """Create a child block extending ``parent`` (the ``CreateProposal`` helper)."""
+    return Block(
+        parent_hash=parent.block_hash,
+        height=parent.height + 1,
+        view=view,
+        round=round_number,
+        proposer=proposer,
+        batch=Batch(tuple(commands or ())),
+    )
+
+
+class BlockStore:
+    """A node's local store of every block it has seen.
+
+    The store provides the ancestry queries the protocol needs: does block
+    ``b`` extend block ``a``, what is the chain from genesis to ``b``, and
+    do two blocks conflict (neither extends the other).  Chain
+    synchronization — requesting missing parents from the sender — is
+    modelled implicitly: since proposals are flooded to all nodes, every
+    correct node stores every proposed block, and the protocol timers
+    already include the paper's chain-synchronization allowance.
+    """
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        self.genesis = genesis or GENESIS
+        self._blocks: Dict[str, Block] = {self.genesis.block_hash: self.genesis}
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def add(self, block: Block) -> None:
+        """Store a block (idempotent)."""
+        self._blocks[block.block_hash] = block
+
+    def get(self, block_hash: str) -> Optional[Block]:
+        """Retrieve a block by hash, or ``None`` when unknown."""
+        return self._blocks.get(block_hash)
+
+    def has_ancestry(self, block: Block) -> bool:
+        """Whether every ancestor of ``block`` down to genesis is known."""
+        current = block
+        while not current.is_genesis:
+            parent = self._blocks.get(current.parent_hash)
+            if parent is None:
+                return False
+            current = parent
+        return True
+
+    def iter_ancestors(self, block: Block) -> Iterator[Block]:
+        """Yield ``block`` and then its ancestors up to (and including) genesis."""
+        current: Optional[Block] = block
+        while current is not None:
+            yield current
+            if current.is_genesis:
+                return
+            current = self._blocks.get(current.parent_hash)
+
+    def chain(self, block: Block) -> List[Block]:
+        """The chain from genesis to ``block`` (inclusive, genesis first)."""
+        ancestors = list(self.iter_ancestors(block))
+        if not ancestors or not ancestors[-1].is_genesis:
+            raise KeyError(f"chain of {block.short_hash()} has missing ancestors")
+        return list(reversed(ancestors))
+
+    def extends(self, descendant: Block, ancestor: Block) -> bool:
+        """Whether ``descendant`` extends (or equals) ``ancestor``."""
+        if descendant.height < ancestor.height:
+            return False
+        target = ancestor.block_hash
+        for candidate in self.iter_ancestors(descendant):
+            if candidate.block_hash == target:
+                return True
+            if candidate.height < ancestor.height:
+                return False
+        return False
+
+    def conflicts(self, block_a: Block, block_b: Block) -> bool:
+        """Two blocks conflict when neither extends the other."""
+        return not self.extends(block_a, block_b) and not self.extends(block_b, block_a)
+
+    def highest_common_ancestor(self, block_a: Block, block_b: Block) -> Block:
+        """The deepest block on both chains (genesis in the worst case)."""
+        ancestors_a = {b.block_hash for b in self.iter_ancestors(block_a)}
+        for candidate in self.iter_ancestors(block_b):
+            if candidate.block_hash in ancestors_a:
+                return candidate
+        return self.genesis

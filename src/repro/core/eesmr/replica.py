@@ -1,0 +1,119 @@
+"""The EESMR replica: state, dispatch and lifecycle.
+
+This class glues together the steady-state and view-change mixins with the
+shared :class:`repro.core.replica_base.BaseReplica` machinery.  One
+instance of it is one node p_i of the system; it reacts to message
+deliveries from the simulated network and to its own timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.blocks import Block
+from repro.core.config import ProtocolConfig
+from repro.core.client import AckRouter
+from repro.core.eesmr.steady_state import SteadyStateMixin
+from repro.core.eesmr.view_change import ViewChangeMixin
+from repro.core.messages import MessageType, ProtocolMessage, QuorumCertificate
+from repro.core.replica_base import BaseReplica
+from repro.core.types import NodeId, Round, View
+from repro.crypto.signatures import SignatureScheme
+from repro.energy.meter import EnergyMeter
+from repro.net.network import SimulatedNetwork
+from repro.sim.scheduler import Simulator
+
+
+class EesmrReplica(SteadyStateMixin, ViewChangeMixin, BaseReplica):
+    """A correct EESMR node (Algorithm 2)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: NodeId,
+        config: ProtocolConfig,
+        scheme: SignatureScheme,
+        network: SimulatedNetwork,
+        meter: EnergyMeter,
+        ack_router: Optional[AckRouter] = None,
+    ) -> None:
+        super().__init__(sim, pid, config, scheme, network, meter, ack_router)
+
+        # Steady-state bookkeeping.
+        self.leader_chain_tip: Block = self.blocks.genesis
+        self.next_propose_round: Round = 3
+        self.force_steady_proposal = False
+        self.proposals_seen: Dict[Tuple[View, Round], Dict[str, ProtocolMessage]] = {}
+        self.buffered_proposals: Dict[View, Dict[Round, ProtocolMessage]] = {}
+        self.commit_timers = self.make_timer_registry("t-commit")
+        self.blame_timer = self.make_timer("t-blame", self._on_blame_timer)
+
+        # View-change bookkeeping.
+        self.in_view_change = False
+        self.blames: Dict[View, Dict[NodeId, ProtocolMessage]] = {}
+        self.blamed_views: set[View] = set()
+        self.quit_views: set[View] = set()
+        self.equivocation_handled: set[View] = set()
+        self.certify_votes: Dict[View, Dict[NodeId, ProtocolMessage]] = {}
+        self.own_commit_qc: Dict[View, QuorumCertificate] = {}
+        self.best_commit_qc: Optional[QuorumCertificate] = None
+        self.collected_commit_qcs: List[QuorumCertificate] = []
+        self.nv_votes: Dict[View, Dict[NodeId, ProtocolMessage]] = {}
+        self.nv_proposal_digest: Dict[View, str] = {}
+        self.round2_sent: set[View] = set()
+        self._future_messages: List[ProtocolMessage] = []
+
+    # --------------------------------------------------------------- startup
+    def start(self) -> None:
+        """Arm the progress timer and, if leading view 1, start proposing."""
+        self.blame_timer.start(4 * self.config.delta)
+        if self.is_leader(self.v_cur):
+            self._schedule_propose(0.0)
+
+    # --------------------------------------------------------------- dispatch
+    def on_message(self, sender: int, message: Any) -> None:
+        """Route a delivered protocol message to its handler."""
+        if not isinstance(message, ProtocolMessage):
+            return
+        handler = self._HANDLERS.get(message.msg_type)
+        if handler is None:
+            return
+        handler(self, message)
+
+    def _buffer_future(self, message: ProtocolMessage) -> None:
+        """Hold a message addressed to a later view until we get there."""
+        self._future_messages.append(message)
+
+    def _replay_buffered_future(self) -> None:
+        """Re-deliver buffered future-view messages that are now current."""
+        ready = [m for m in self._future_messages if m.view <= self.v_cur]
+        self._future_messages = [m for m in self._future_messages if m.view > self.v_cur]
+        for message in ready:
+            self.on_message(message.sender, message)
+
+    # ---------------------------------------------------------------- status
+    def describe(self) -> Dict[str, Any]:
+        """A snapshot of the replica's protocol state (used in tests and examples)."""
+        return {
+            "pid": self.pid,
+            "view": self.v_cur,
+            "round": self.r_cur,
+            "locked": self.b_lock.short_hash(),
+            "locked_height": self.b_lock.height,
+            "committed_height": self.committed_height,
+            "in_view_change": self.in_view_change,
+            "blocks_committed": self.stats.blocks_committed,
+            "view_changes": self.stats.view_changes_completed,
+        }
+
+
+EesmrReplica._HANDLERS = {
+    MessageType.PROPOSE: EesmrReplica._on_propose,
+    MessageType.BLAME: EesmrReplica._on_blame,
+    MessageType.BLAME_QC: EesmrReplica._on_blame_qc,
+    MessageType.COMMIT_UPDATE: EesmrReplica._on_commit_update,
+    MessageType.CERTIFY: EesmrReplica._on_certify,
+    MessageType.COMMIT_QC: EesmrReplica._on_commit_qc,
+    MessageType.NEW_VIEW_PROPOSAL: EesmrReplica._on_new_view_proposal,
+    MessageType.VOTE: EesmrReplica._on_vote,
+}

@@ -1,0 +1,176 @@
+"""EESMR steady-state sub-protocol (Algorithm 2, lines 203-215 and 278-280).
+
+In the steady state the leader streams proposals — one block per round —
+and every node:
+
+* treats the flooded proposal it receives as its "vote in the head",
+  updating its locked block ``B_lck`` without producing any signature;
+* (re)broadcasts the proposal, which in this reproduction is realised by
+  the network-layer flooding;
+* starts the 4Δ commit timer ``T_commit(B)`` and commits ``B`` (and its
+  ancestors) when the timer expires without an equivocation having been
+  observed for that view.
+
+The only signature in the whole steady state is the leader's signature on
+the proposal, which is what gives EESMR its O(1) signing / O(n)
+verification per block (Table 3) and its energy advantage over
+certificate-based protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.blocks import Block, make_block
+from repro.core.messages import MessageType, ProtocolMessage
+from repro.core.types import FIRST_STEADY_ROUND, Round, View
+
+
+class SteadyStateMixin:
+    """Steady-state behaviour of an EESMR replica.
+
+    Mixed into :class:`repro.core.eesmr.replica.EesmrReplica`, which owns
+    the state attributes referenced here.
+    """
+
+    # ------------------------------------------------------------- proposing
+    def _schedule_propose(self, delay: float) -> None:
+        """Schedule the leader's next proposal."""
+        self.after(delay, self._propose_next, label="eesmr:propose")
+
+    def _propose_next(self) -> None:
+        """Leader: create and broadcast the proposal for the next round."""
+        if self.crashed or self.in_view_change or not self.is_leader(self.v_cur):
+            return
+        if (
+            self.leader_chain_tip.height >= self.config.target_height
+            and not self.force_steady_proposal
+        ):
+            return
+        self.force_steady_proposal = False
+        round_number = self.next_propose_round
+        block = self._build_proposal_block(round_number)
+        message = self.sign_message(
+            MessageType.PROPOSE, block, view=self.v_cur, round_number=round_number
+        )
+        self.store_block(block)
+        self.broadcast(message)
+        self.stats.proposals_made += 1
+        self.leader_chain_tip = block
+        self.next_propose_round += 1
+        if self.leader_chain_tip.height < self.config.target_height:
+            self._schedule_propose(self.config.block_interval)
+
+    def _build_proposal_block(self, round_number: Round) -> Block:
+        """The ``CreateProposal`` helper: extend the leader's chain tip with pooled commands."""
+        return make_block(
+            parent=self.leader_chain_tip,
+            proposer=self.pid,
+            view=self.v_cur,
+            round_number=round_number,
+            commands=self.next_batch(),
+        )
+
+    # -------------------------------------------------------------- handling
+    def _on_propose(self, message: ProtocolMessage) -> None:
+        """Handle a PROPOSE message (steady-state rounds >= 3, or view-change round 2)."""
+        if message.view > self.v_cur:
+            self._buffer_future(message)
+            return
+        if message.view < self.v_cur:
+            return
+        if message.sender != self.leader_of(message.view):
+            return
+        if not self.verify_signed_message(message):
+            return
+        if message.round == 2:
+            self._on_round2_proposal(message)
+            return
+        if message.round < FIRST_STEADY_ROUND:
+            return
+        self._record_proposal(message)
+        if self.in_view_change or self.r_cur < FIRST_STEADY_ROUND:
+            # We are still completing the view change; keep the proposal so
+            # it can be processed the moment we enter the steady state.
+            self.buffered_proposals.setdefault(message.view, {})[message.round] = message
+            return
+        if message.round > self.r_cur:
+            self.buffered_proposals.setdefault(message.view, {})[message.round] = message
+            return
+        if message.round == self.r_cur:
+            self._process_steady_proposal(message)
+
+    def _record_proposal(self, message: ProtocolMessage) -> None:
+        """Track proposals per (view, round) and detect equivocation."""
+        key = (message.view, message.round)
+        per_round: Dict[str, ProtocolMessage] = self.proposals_seen.setdefault(key, {})
+        per_round[message.data_digest] = message
+        if len(per_round) >= 2:
+            conflicting = list(per_round.values())[:2]
+            self._handle_equivocation(message.view, conflicting[0], conflicting[1])
+
+    def _process_steady_proposal(self, message: ProtocolMessage) -> None:
+        """Vote in the head: lock, start the 4Δ commit timer, advance the round."""
+        block = message.data
+        if not isinstance(block, Block):
+            return
+        self.store_block(block)
+        if not self.blocks.has_ancestry(block):
+            # Chain synchronization would fetch the missing parents; absent
+            # them we cannot validate the extension, so do not advance.
+            return
+        if not self.blocks.extends(block, self.b_lock):
+            # The leader forked away from our lock; refuse to adopt it.  The
+            # blame timer will eventually fire and trigger a view change.
+            return
+        self.b_lock = block
+        self.stats.proposals_received += 1
+        self.commit_timers.start(
+            block.block_hash,
+            4 * self.config.delta,
+            lambda b=block: self._commit_on_timer(b),
+        )
+        self.r_cur = message.round + 1
+        if block.height >= self.config.target_height:
+            # All expected blocks have been proposed; a quiet leader is not a
+            # faulty leader once the workload is exhausted.
+            self.blame_timer.cancel()
+        else:
+            self.blame_timer.start(4 * self.config.delta)
+        self._drain_buffered_proposals()
+
+    def _drain_buffered_proposals(self) -> None:
+        """Process any buffered proposal that has become current."""
+        per_view = self.buffered_proposals.get(self.v_cur, {})
+        while self.r_cur in per_view and not self.in_view_change:
+            message = per_view.pop(self.r_cur)
+            self._process_steady_proposal(message)
+
+    # --------------------------------------------------------------- commit
+    def _commit_on_timer(self, block: Block) -> None:
+        """Commit rule: the 4Δ quiet period elapsed without equivocation."""
+        if self.crashed:
+            return
+        self.commit_chain(block)
+
+    # --------------------------------------------------------- equivocation
+    def _handle_equivocation(
+        self, view: View, first: ProtocolMessage, second: ProtocolMessage
+    ) -> None:
+        """Two conflicting proposals for the same round: blame with proof."""
+        if view in self.equivocation_handled:
+            return
+        self.equivocation_handled.add(view)
+        self.stats.equivocations_detected += 1
+        self.commit_timers.cancel_all()
+        if view == self.v_cur and view not in self.blamed_views:
+            proof = (first, second)
+            blame = self.sign_message(MessageType.BLAME, proof, view=view)
+            self.blamed_views.add(view)
+            self.blames.setdefault(view, {})[self.pid] = blame
+            self.stats.blames_sent += 1
+            self.broadcast(blame)
+        # Equivocation-scenario speedup (Section 3.5): the proof itself
+        # justifies quitting the view, so no f+1 blame certificate is built.
+        if view == self.v_cur and view not in self.quit_views:
+            self._quit_on_proof(view)

@@ -1,0 +1,400 @@
+"""EESMR view-change sub-protocol (Algorithm 2, lines 216-277).
+
+The view change is where EESMR pays for its cheap steady state: the
+implicit "votes in the head" are converted into explicit certificates.
+The phases are:
+
+1. *Blame*: a node blames the leader when its progress timer expires
+   (crash) or when it observes two conflicting proposals (equivocation,
+   blame carries the proof).  f+1 blames form a blame certificate.
+2. *Quit view*: on a valid blame certificate every node cancels its commit
+   timers, waits Δ so all correct nodes quit, then broadcasts its highest
+   committed block ``B_com`` and collects f+1 ``Certify`` votes on it — the
+   explicit certificate for what was committed implicitly.
+3. *Commit-QC exchange*: nodes broadcast their commit certificates and
+   adopt any higher one that does not conflict with their lock.
+4. *New view*: nodes send their best commit certificate to the new leader;
+   the leader proposes a block extending the highest certified block
+   (round 1), collects f+1 votes, and presents the vote certificate
+   (round 2), after which the steady state resumes at round 3.
+
+The timer values (Δ, 5Δ, Δ, 4Δ, 8Δ, 6Δ) follow the paper's analysis, which
+bounds a full view change by 21Δ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.blocks import Block, make_block
+from repro.core.messages import (
+    MessageType,
+    ProtocolMessage,
+    QuorumCertificate,
+    make_qc,
+    make_view_qc,
+    message_data_digest,
+)
+from repro.core.types import View
+
+
+class ViewChangeMixin:
+    """View-change behaviour of an EESMR replica."""
+
+    # ----------------------------------------------------------------- blame
+    def _on_blame_timer(self) -> None:
+        """T_blame expired: the leader made no progress — blame it.
+
+        The timer is also armed during rounds 1 and 2 of a new view (with
+        the longer 8Δ / 6Δ budgets), so a new leader that stalls is blamed
+        and yet another view change begins — the liveness argument of
+        Lemma B.3 depends on this.
+        """
+        if self.crashed:
+            return
+        view = self.v_cur
+        if view in self.blamed_views:
+            return
+        blame = self.sign_message(MessageType.BLAME, None, view=view)
+        self.blamed_views.add(view)
+        self.blames.setdefault(view, {})[self.pid] = blame
+        self.stats.blames_sent += 1
+        self.broadcast(blame)
+        self._check_blame_quorum(view)
+
+    def _on_blame(self, message: ProtocolMessage) -> None:
+        """Record another node's blame; validate an equivocation proof if present."""
+        if message.view != self.v_cur:
+            if message.view > self.v_cur:
+                self._buffer_future(message)
+            return
+        if not self.verify_signed_message(message):
+            return
+        proof = message.data
+        if self._is_equivocation_proof(proof):
+            first, second = proof
+            self._handle_equivocation(message.view, first, second)
+        self.blames.setdefault(message.view, {})[message.sender] = message
+        self._check_blame_quorum(message.view)
+
+    def _is_equivocation_proof(self, proof) -> bool:
+        """Validate a (proposal, proposal) equivocation proof, charging verification."""
+        if not (isinstance(proof, tuple) and len(proof) == 2):
+            return False
+        first, second = proof
+        if not (isinstance(first, ProtocolMessage) and isinstance(second, ProtocolMessage)):
+            return False
+        if first.msg_type != MessageType.PROPOSE or second.msg_type != MessageType.PROPOSE:
+            return False
+        if first.view != second.view or first.round != second.round:
+            return False
+        if first.data_digest == second.data_digest:
+            return False
+        leader = self.leader_of(first.view)
+        if first.sender != leader or second.sender != leader:
+            return False
+        return self.verify_signed_message(first) and self.verify_signed_message(second)
+
+    def _check_blame_quorum(self, view: View) -> None:
+        """f+1 blames for the current view: form and broadcast the blame certificate."""
+        blames = self.blames.get(view, {})
+        if len(blames) < self.config.quorum:
+            return
+        if view != self.v_cur or view in self.quit_views:
+            return
+        blame_qc = make_view_qc(list(blames.values())[: self.config.quorum])
+        message = self.sign_message(MessageType.BLAME_QC, blame_qc, view=view)
+        self.broadcast(message)
+        self._handle_blame_qc(view, blame_qc)
+
+    def _on_blame_qc(self, message: ProtocolMessage) -> None:
+        """A blame certificate from another node: verify and quit the view."""
+        if message.view != self.v_cur:
+            if message.view > self.v_cur:
+                self._buffer_future(message)
+            return
+        if not self.verify_signed_message(message):
+            return
+        qc = message.data
+        if not isinstance(qc, QuorumCertificate) or qc.cert_type != MessageType.BLAME:
+            return
+        if not self.verify_view_quorum_certificate(qc):
+            return
+        self._handle_blame_qc(message.view, qc)
+
+    def _handle_blame_qc(self, view: View, blame_qc: QuorumCertificate) -> None:
+        """Quit the view after Δ (lines 231-234)."""
+        if view != self.v_cur or view in self.quit_views:
+            return
+        self.quit_views.add(view)
+        self.in_view_change = True
+        self.commit_timers.cancel_all()
+        self.blame_timer.cancel()
+        self.after(self.config.delta, lambda: self._quit_view(view), label="eesmr:quit-view")
+
+    def _quit_on_proof(self, view: View) -> None:
+        """Equivocation speedup: quit on a valid proof without a blame certificate.
+
+        Section 3.5 ("Equivocation scenario speedups"): since the two
+        conflicting signed proposals are themselves transferable evidence,
+        every correct node that sees them can quit the view directly, saving
+        the blame-certificate construction and its verification.
+        """
+        if view != self.v_cur or view in self.quit_views:
+            return
+        self.quit_views.add(view)
+        self.in_view_change = True
+        self.commit_timers.cancel_all()
+        self.blame_timer.cancel()
+        self.after(self.config.delta, lambda: self._quit_view(view), label="eesmr:quit-view")
+
+    # ------------------------------------------------------------- quit view
+    def _quit_view(self, view: View) -> None:
+        """Broadcast B_com and start collecting explicit certificates (lines 235-241)."""
+        if self.v_cur != view:
+            return
+        commit_update = self.sign_message(MessageType.COMMIT_UPDATE, self.b_com, view=view)
+        self.broadcast(commit_update)
+        self.after(
+            5 * self.config.delta,
+            lambda: self._finish_quit_view(view),
+            label="eesmr:finish-quit",
+        )
+
+    def _on_commit_update(self, message: ProtocolMessage) -> None:
+        """Vote (Certify) for another node's B_com when it does not conflict with our lock."""
+        if message.view != self.v_cur:
+            return
+        if not self.verify_signed_message(message):
+            return
+        block = message.data
+        if not isinstance(block, Block):
+            return
+        self.store_block(block)
+        if not self.blocks.has_ancestry(block):
+            return
+        if self.blocks.conflicts(block, self.b_lock):
+            return
+        certify = self.sign_message(MessageType.CERTIFY, block.block_hash, view=message.view)
+        self.stats.votes_sent += 1
+        self.send(message.sender, certify)
+
+    def _on_certify(self, message: ProtocolMessage) -> None:
+        """Collect f+1 Certify votes on our own B_com into a commit certificate."""
+        if message.view != self.v_cur:
+            return
+        if not self.verify_signed_message(message):
+            return
+        if message.data != self.b_com.block_hash:
+            return
+        votes = self.certify_votes.setdefault(message.view, {})
+        votes[message.sender] = message
+        if len(votes) < self.config.quorum:
+            return
+        if message.view in self.own_commit_qc:
+            return
+        qc = make_qc(list(votes.values())[: self.config.quorum], block=self.b_com)
+        self.own_commit_qc[message.view] = qc
+        self.stats.certificates_formed += 1
+        self._consider_commit_qc(qc)
+
+    def _consider_commit_qc(self, qc: QuorumCertificate) -> None:
+        """Adopt a commit certificate when it is higher and does not conflict with our lock."""
+        block = qc.block
+        if block is None:
+            return
+        self.store_block(block)
+        if not self.blocks.has_ancestry(block):
+            return
+        if self.blocks.conflicts(block, self.b_lock):
+            return
+        current = self.best_commit_qc
+        if current is None or current.block is None or block.height > current.block.height:
+            self.best_commit_qc = qc
+
+    def _finish_quit_view(self, view: View) -> None:
+        """5Δ after quitting: broadcast the best commit certificate, wait Δ, start the new view."""
+        if self.v_cur != view:
+            return
+        if self.best_commit_qc is None:
+            self.best_commit_qc = self.own_commit_qc.get(view)
+        if self.best_commit_qc is not None:
+            message = self.sign_message(MessageType.COMMIT_QC, self.best_commit_qc, view=view)
+            self.broadcast(message)
+        self.after(
+            self.config.delta,
+            lambda: self._start_new_view(view),
+            label="eesmr:start-new-view",
+        )
+
+    def _on_commit_qc(self, message: ProtocolMessage) -> None:
+        """A commit certificate from another node (broadcast or sent to the new leader)."""
+        if not self.verify_signed_message(message):
+            return
+        qc = message.data
+        if not isinstance(qc, QuorumCertificate) or qc.cert_type != MessageType.CERTIFY:
+            return
+        if not self.verify_quorum_certificate(qc):
+            return
+        self.collected_commit_qcs.append(qc)
+        self._consider_commit_qc(qc)
+
+    # -------------------------------------------------------------- new view
+    def _start_new_view(self, old_view: View) -> None:
+        """Enter view old_view + 1 (procedure NewView, lines 251-266)."""
+        if self.v_cur != old_view:
+            return
+        self.v_cur = old_view + 1
+        self.r_cur = 1
+        self.stats.view_changes_completed += 1
+        new_leader = self.leader_of(self.v_cur)
+        if self.best_commit_qc is not None:
+            status = self.sign_message(MessageType.COMMIT_QC, self.best_commit_qc, view=self.v_cur)
+            self.send(new_leader, status)
+        self.blame_timer._callback = self._on_blame_timer
+        self.blame_timer.start(8 * self.config.delta)
+        if new_leader == self.pid:
+            self.after(
+                4 * self.config.delta,
+                lambda: self._propose_new_view(self.v_cur),
+                label="eesmr:new-view-proposal",
+            )
+        self._replay_buffered_future()
+
+    def _highest_certified(self) -> tuple[Optional[Block], List[QuorumCertificate]]:
+        """The highest certified block this node knows of, plus the status set."""
+        candidates: List[QuorumCertificate] = list(self.collected_commit_qcs)
+        for qc in self.own_commit_qc.values():
+            candidates.append(qc)
+        if self.best_commit_qc is not None:
+            candidates.append(self.best_commit_qc)
+        best_block: Optional[Block] = None
+        for qc in candidates:
+            if qc.block is None or not self.blocks.has_ancestry(qc.block):
+                continue
+            if best_block is None or qc.block.height > best_block.height:
+                best_block = qc.block
+        status = [qc for qc in candidates if qc.block is not None][: self.config.quorum]
+        return best_block, status
+
+    def _propose_new_view(self, view: View) -> None:
+        """New leader: propose the round-1 block extending the highest certified block."""
+        if self.crashed or self.v_cur != view or not self.is_leader(view):
+            return
+        base, status = self._highest_certified()
+        if base is None:
+            base = self.b_com
+        new_block = make_block(
+            parent=base,
+            proposer=self.pid,
+            view=view,
+            round_number=1,
+            commands=[],
+        )
+        self.store_block(new_block)
+        payload = {"block": new_block, "status": status}
+        message = self.sign_message(
+            MessageType.NEW_VIEW_PROPOSAL, payload, view=view, round_number=1
+        )
+        self.nv_proposal_digest[view] = message_data_digest(payload)
+        self.leader_chain_tip = new_block
+        self.stats.proposals_made += 1
+        self.broadcast(message)
+
+    def _on_new_view_proposal(self, message: ProtocolMessage) -> None:
+        """Round 1 of the new view: vote for the leader's proposal when it is safe."""
+        if message.view != self.v_cur:
+            if message.view > self.v_cur:
+                self._buffer_future(message)
+            return
+        if self.r_cur != 1:
+            return
+        if message.sender != self.leader_of(message.view):
+            return
+        if not self.verify_signed_message(message):
+            return
+        payload = message.data
+        if not isinstance(payload, dict):
+            return
+        block = payload.get("block")
+        status = payload.get("status") or []
+        if not isinstance(block, Block):
+            return
+        highest: Optional[Block] = None
+        for qc in status:
+            if not isinstance(qc, QuorumCertificate) or qc.block is None:
+                continue
+            if not self.verify_quorum_certificate(qc):
+                continue
+            self.store_block(qc.block)
+            if highest is None or qc.block.height > highest.height:
+                highest = qc.block
+        if highest is None:
+            highest = self.blocks.genesis
+        self.store_block(block)
+        if not self.blocks.has_ancestry(block):
+            return
+        if not self.blocks.extends(block, highest):
+            return
+        # LockCompare: the proposal belongs to a later view, so adopt it.
+        self.b_lock = block
+        digest = message_data_digest(payload)
+        vote = self.sign_message(MessageType.VOTE, digest, view=message.view, round_number=1)
+        self.stats.votes_sent += 1
+        self.broadcast(vote)
+        self.blame_timer.start(6 * self.config.delta)
+        self.r_cur = 2
+
+    def _on_vote(self, message: ProtocolMessage) -> None:
+        """New leader: collect f+1 round-1 votes and issue the round-2 certificate."""
+        if message.view != self.v_cur or not self.is_leader(message.view):
+            return
+        if not self.verify_signed_message(message):
+            return
+        expected = self.nv_proposal_digest.get(message.view)
+        if expected is None or message.data != expected:
+            return
+        votes = self.nv_votes.setdefault(message.view, {})
+        votes[message.sender] = message
+        if len(votes) < self.config.quorum:
+            return
+        if message.view in self.round2_sent:
+            return
+        self.round2_sent.add(message.view)
+        vote_qc = make_qc(list(votes.values())[: self.config.quorum])
+        payload = {"qc": vote_qc, "block_hash": self.leader_chain_tip.block_hash}
+        round2 = self.sign_message(MessageType.PROPOSE, payload, view=message.view, round_number=2)
+        self.broadcast(round2)
+
+    def _on_round2_proposal(self, message: ProtocolMessage) -> None:
+        """Round 2 of the new view: a valid vote certificate returns us to the steady state."""
+        if message.view != self.v_cur or self.r_cur not in (1, 2):
+            return
+        payload = message.data
+        if not isinstance(payload, dict):
+            return
+        qc = payload.get("qc")
+        if not isinstance(qc, QuorumCertificate) or qc.cert_type != MessageType.VOTE:
+            return
+        if not self.verify_quorum_certificate(qc):
+            return
+        self._enter_steady_state(message.view)
+
+    def _enter_steady_state(self, view: View) -> None:
+        """Transition to rounds >= 3 of the (new) view."""
+        if self.v_cur != view:
+            return
+        self.r_cur = 3
+        self.in_view_change = False
+        if self.b_lock.height >= self.config.target_height:
+            self.blame_timer.cancel()
+        else:
+            self.blame_timer.start(4 * self.config.delta)
+        if self.is_leader(view):
+            self.next_propose_round = 3
+            # The round-1 block only commits as an ancestor of a steady-state
+            # block, so a new leader always anchors at least one steady
+            # proposal even when the workload target was already reached.
+            self.force_steady_proposal = True
+            self._schedule_propose(self.config.block_interval)
+        self._drain_buffered_proposals()

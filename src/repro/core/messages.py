@@ -1,0 +1,287 @@
+"""Protocol messages and quorum certificates (Algorithm 1 of the paper).
+
+Every protocol message carries its type, the view it belongs to, a payload,
+and two signatures by the sender: ``view_sig`` over (type, view) and
+``data_sig`` over (data, view), mirroring the ``Msg`` helper of
+Algorithm 1.  ``n/2 + 1`` (= f + 1) matching signed messages of the same
+type and view combine into a :class:`QuorumCertificate` via :func:`make_qc`.
+
+Wire sizes are tracked explicitly because the energy model charges radio
+energy per byte: a message's size is its header, its payload and its
+signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+from repro.core.blocks import Block
+from repro.core.types import NodeId, Round, View
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import Signature, SignatureScheme
+
+#: Fixed per-message header bytes (type, view, round, sender).
+MESSAGE_HEADER_BYTES = 16
+
+
+class MessageType(str, Enum):
+    """All message types used by EESMR and the baseline protocols."""
+
+    # EESMR steady state.
+    PROPOSE = "propose"
+    # EESMR view change.
+    BLAME = "blame"
+    BLAME_QC = "blame_qc"
+    COMMIT_UPDATE = "commit_update"
+    CERTIFY = "certify"
+    COMMIT_QC = "commit_qc"
+    NEW_VIEW_PROPOSAL = "new_view_proposal"
+    VOTE = "vote"
+    # Sync HotStuff / OptSync specific.
+    SHS_PROPOSE = "shs_propose"
+    SHS_VOTE = "shs_vote"
+    SHS_STATUS = "shs_status"
+    SHS_NEW_VIEW = "shs_new_view"
+    # Trusted baseline.
+    TB_REQUEST = "tb_request"
+    TB_ORDER = "tb_order"
+
+
+def payload_wire_size(payload: Any) -> int:
+    """Estimate the wire size of a message payload in bytes."""
+    if payload is None:
+        return 0
+    if isinstance(payload, Block):
+        return payload.wire_size_bytes
+    if isinstance(payload, QuorumCertificate):
+        return payload.wire_size_bytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_wire_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_wire_size(v) + 8 for v in payload.values())
+    size = getattr(payload, "wire_size_bytes", None)
+    if size is not None:
+        return int(size)
+    return 32
+
+
+@dataclass(frozen=True)
+class ProtocolMessage:
+    """A signed protocol message.
+
+    Attributes:
+        msg_type: The message type (Algorithm 1's ``m.type``).
+        view: The view the message belongs to (``m.view``).
+        round: The round the message refers to (0 when not applicable).
+        sender: Node id of the signer.
+        data: Arbitrary payload (block, block hash, QC, proof, ...).
+        view_sig: Signature over (type, view) — ``m.viewSig``.
+        data_sig: Signature over (data digest, view) — ``m.dataSig``.
+    """
+
+    msg_type: MessageType
+    view: View
+    round: Round
+    sender: NodeId
+    data: Any
+    view_sig: Optional[Signature] = None
+    data_sig: Optional[Signature] = None
+
+    @property
+    def data_digest(self) -> str:
+        """Digest of the payload used for signing and vote matching."""
+        return message_data_digest(self.data)
+
+    @property
+    def wire_size_bytes(self) -> int:
+        """Bytes on the wire: header + payload + signatures."""
+        size = MESSAGE_HEADER_BYTES + payload_wire_size(self.data)
+        for signature in (self.view_sig, self.data_sig):
+            if signature is not None:
+                size += signature.size_bytes
+        return size
+
+    def matches(self, msg_type: MessageType, view: View) -> bool:
+        """The ``MatchingMsg`` helper of Algorithm 1."""
+        return self.msg_type == msg_type and self.view == view
+
+
+def message_data_digest(data: Any) -> str:
+    """Canonical digest of a message payload."""
+    if isinstance(data, Block):
+        return data.block_hash
+    if isinstance(data, QuorumCertificate):
+        return data.digest
+    if isinstance(data, ProtocolMessage):
+        return sha256_hex((data.msg_type.value, data.view, data.round, data.data_digest))
+    if isinstance(data, (list, tuple)):
+        return sha256_hex([message_data_digest(item) for item in data])
+    return sha256_hex(data)
+
+
+def make_message(
+    scheme: SignatureScheme,
+    sender: NodeId,
+    msg_type: MessageType,
+    view: View,
+    data: Any,
+    round_number: Round = 0,
+) -> ProtocolMessage:
+    """Create and sign a protocol message (Algorithm 1's ``Msg`` function)."""
+    view_sig = scheme.sign(sender, ("view", msg_type.value, view))
+    data_sig = scheme.sign(sender, ("data", message_data_digest(data), view))
+    return ProtocolMessage(
+        msg_type=msg_type,
+        view=view,
+        round=round_number,
+        sender=sender,
+        data=data,
+        view_sig=view_sig,
+        data_sig=data_sig,
+    )
+
+
+def verify_message(scheme: SignatureScheme, verifier: NodeId, message: ProtocolMessage) -> bool:
+    """Verify both signatures of a protocol message."""
+    if message.view_sig is None or message.data_sig is None:
+        return False
+    if message.view_sig.signer != message.sender or message.data_sig.signer != message.sender:
+        return False
+    view_ok = scheme.verify(
+        verifier, ("view", message.msg_type.value, message.view), message.view_sig
+    )
+    data_ok = scheme.verify(
+        verifier, ("data", message.data_digest, message.view), message.data_sig
+    )
+    return view_ok and data_ok
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A certificate of f+1 matching signed messages (Algorithm 1's ``QC``)."""
+
+    cert_type: MessageType
+    view: View
+    digest: str
+    signers: Tuple[NodeId, ...]
+    signatures: Tuple[Signature, ...] = field(default_factory=tuple)
+    block: Optional[Block] = None
+
+    @property
+    def wire_size_bytes(self) -> int:
+        """Bytes of the certificate: digest + all contained signatures."""
+        signature_bytes = sum(sig.size_bytes for sig in self.signatures)
+        block_bytes = self.block.wire_size_bytes if self.block is not None else 0
+        return 32 + signature_bytes + block_bytes
+
+    def matches(self, cert_type: MessageType, view: View) -> bool:
+        """The ``MatchingQC`` helper of Algorithm 1."""
+        return self.cert_type == cert_type and self.view == view
+
+    @property
+    def size(self) -> int:
+        """Number of signatures aggregated."""
+        return len(self.signatures)
+
+
+def make_qc(messages: list[ProtocolMessage], block: Optional[Block] = None) -> QuorumCertificate:
+    """Combine matching signed messages into a quorum certificate.
+
+    All messages must share the same type, view and data digest; duplicate
+    signers are collapsed.
+    """
+    if not messages:
+        raise ValueError("cannot build a QC from zero messages")
+    first = messages[0]
+    for message in messages[1:]:
+        if message.msg_type != first.msg_type or message.view != first.view:
+            raise ValueError("QC messages must share type and view")
+        if message.data_digest != first.data_digest:
+            raise ValueError("QC messages must share the same data digest")
+    seen: dict[NodeId, Signature] = {}
+    for message in messages:
+        if message.data_sig is not None and message.sender not in seen:
+            seen[message.sender] = message.data_sig
+    return QuorumCertificate(
+        cert_type=first.msg_type,
+        view=first.view,
+        digest=first.data_digest,
+        signers=tuple(sorted(seen)),
+        signatures=tuple(seen[s] for s in sorted(seen)),
+        block=block,
+    )
+
+
+def make_view_qc(messages: list[ProtocolMessage]) -> QuorumCertificate:
+    """Combine messages into a QC over their *view signatures*.
+
+    Blame certificates do not care about the payload (a blame may carry an
+    equivocation proof or nothing at all); Algorithm 1's ``QC`` function
+    aggregates the ``viewSig`` fields — signatures over (type, view) — which
+    is what this constructor does.
+    """
+    if not messages:
+        raise ValueError("cannot build a QC from zero messages")
+    first = messages[0]
+    for message in messages[1:]:
+        if message.msg_type != first.msg_type or message.view != first.view:
+            raise ValueError("QC messages must share type and view")
+    seen: dict[NodeId, Signature] = {}
+    for message in messages:
+        if message.view_sig is not None and message.sender not in seen:
+            seen[message.sender] = message.view_sig
+    return QuorumCertificate(
+        cert_type=first.msg_type,
+        view=first.view,
+        digest=sha256_hex(("view", first.msg_type.value, first.view)),
+        signers=tuple(sorted(seen)),
+        signatures=tuple(seen[s] for s in sorted(seen)),
+    )
+
+
+def verify_view_qc(
+    scheme: SignatureScheme,
+    verifier: NodeId,
+    qc: QuorumCertificate,
+    threshold: int,
+) -> bool:
+    """Verify a view-signature QC (e.g. a blame certificate)."""
+    if len(set(qc.signers)) < threshold:
+        return False
+    if len(qc.signers) != len(qc.signatures):
+        return False
+    valid = 0
+    for signer, signature in zip(qc.signers, qc.signatures):
+        if signature.signer != signer:
+            return False
+        if scheme.verify(verifier, ("view", qc.cert_type.value, qc.view), signature):
+            valid += 1
+    return valid >= threshold
+
+
+def verify_qc(
+    scheme: SignatureScheme,
+    verifier: NodeId,
+    qc: QuorumCertificate,
+    threshold: int,
+) -> bool:
+    """Verify a quorum certificate: enough distinct valid signatures over the digest."""
+    if len(set(qc.signers)) < threshold:
+        return False
+    if len(qc.signers) != len(qc.signatures):
+        return False
+    valid = 0
+    for signer, signature in zip(qc.signers, qc.signatures):
+        if signature.signer != signer:
+            return False
+        if scheme.verify(verifier, ("data", qc.digest, qc.view), signature):
+            valid += 1
+    return valid >= threshold

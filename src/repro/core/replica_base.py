@@ -1,0 +1,196 @@
+"""Shared replica machinery for all protocol implementations.
+
+:class:`BaseReplica` wires a protocol state machine to the substrates:
+the simulated network (for broadcast/unicast), the energy meter (for
+radio, signing, verification and hashing charges), the key store and
+signature scheme (for authentication), the block store, the committed log
+and the transaction pool.  Protocol implementations (EESMR, Sync HotStuff,
+OptSync, the trusted baseline) subclass it and implement message handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.core.blocks import Block, BlockStore, GENESIS
+from repro.core.client import AckRouter
+from repro.core.config import ProtocolConfig, RunStats
+from repro.core.ledger import CommittedLog
+from repro.core.messages import (
+    MessageType,
+    ProtocolMessage,
+    QuorumCertificate,
+    make_message,
+    verify_message,
+    verify_qc,
+    verify_view_qc,
+)
+from repro.core.txpool import TxPool
+from repro.core.types import Command, NodeId, Round, View
+from repro.crypto.hashing import HashFunction
+from repro.crypto.signatures import SignatureScheme
+from repro.energy.meter import EnergyMeter
+from repro.net.network import SimulatedNetwork
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class BaseReplica(Process):
+    """Common state and helpers for protocol replicas."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: NodeId,
+        config: ProtocolConfig,
+        scheme: SignatureScheme,
+        network: SimulatedNetwork,
+        meter: EnergyMeter,
+        ack_router: Optional[AckRouter] = None,
+    ) -> None:
+        super().__init__(sim, pid)
+        self.config = config
+        self.scheme = scheme
+        self.network = network
+        self.meter = meter
+        self.ack_router = ack_router
+        self.hash_fn = HashFunction()
+
+        self.blocks = BlockStore()
+        self.log = CommittedLog(pid, self.blocks)
+        self.txpool = TxPool()
+        self.stats = RunStats()
+
+        self.v_cur: View = 1
+        self.r_cur: Round = 3
+        self.b_lock: Block = GENESIS
+        self.b_com: Block = GENESIS
+
+    # --------------------------------------------------------------- leader
+    def leader_of(self, view: View) -> NodeId:
+        """The leader of ``view`` according to the configured schedule."""
+        return self.config.leader_of(view)
+
+    def is_leader(self, view: Optional[View] = None) -> bool:
+        """Whether this replica leads the given (default: current) view."""
+        return self.leader_of(view if view is not None else self.v_cur) == self.pid
+
+    # ------------------------------------------------------------ messaging
+    def sign_message(
+        self,
+        msg_type: MessageType,
+        data: Any,
+        view: Optional[View] = None,
+        round_number: Round = 0,
+    ) -> ProtocolMessage:
+        """Create a signed protocol message and charge signing energy.
+
+        The ``Msg`` helper signs twice (viewSig and dataSig); signing energy
+        is charged per cryptographic operation, so two charges per message.
+        """
+        message = make_message(
+            self.scheme,
+            self.pid,
+            msg_type,
+            view if view is not None else self.v_cur,
+            data,
+            round_number=round_number,
+        )
+        if self.config.charge_crypto_energy:
+            self.meter.charge_sign(2 * self.scheme.sign_energy_j, self.sim.now, msg_type.value)
+        return message
+
+    def verify_signed_message(self, message: ProtocolMessage) -> bool:
+        """Verify a message's signatures and charge verification energy.
+
+        A replica never re-verifies its own signatures (it produced them),
+        so self-addressed deliveries are free — this keeps the leader's
+        steady-state verification count at zero, as in the paper's model.
+        """
+        if message.sender == self.pid:
+            return True
+        if self.config.charge_crypto_energy:
+            self.meter.charge_verify(
+                2 * self.scheme.verify_energy_j, self.sim.now, message.msg_type.value
+            )
+        return verify_message(self.scheme, self.pid, message)
+
+    def verify_quorum_certificate(self, qc: QuorumCertificate) -> bool:
+        """Verify a QC (f+1 signatures) and charge per-signature verification energy."""
+        if self.config.charge_crypto_energy:
+            self.meter.charge_verify(
+                len(qc.signatures) * self.scheme.verify_energy_j,
+                self.sim.now,
+                f"qc:{qc.cert_type.value}",
+            )
+        return verify_qc(self.scheme, self.pid, qc, self.config.quorum)
+
+    def verify_view_quorum_certificate(self, qc: QuorumCertificate) -> bool:
+        """Verify a view-signature QC (e.g. a blame certificate) with energy accounting."""
+        if self.config.charge_crypto_energy:
+            self.meter.charge_verify(
+                len(qc.signatures) * self.scheme.verify_energy_j,
+                self.sim.now,
+                f"viewqc:{qc.cert_type.value}",
+            )
+        return verify_view_qc(self.scheme, self.pid, qc, self.config.quorum)
+
+    def charge_block_hash(self, block: Block) -> None:
+        """Charge the energy of hashing a block (chaining / digest checks)."""
+        if self.config.charge_crypto_energy:
+            self.meter.charge_hash(
+                self.hash_fn.energy_for_size(block.wire_size_bytes),
+                self.sim.now,
+                "block-hash",
+            )
+
+    def broadcast(self, message: ProtocolMessage) -> None:
+        """Flood a message to all nodes via the simulated network."""
+        self.network.broadcast(self.pid, message)
+
+    def send(self, destination: NodeId, message: ProtocolMessage) -> None:
+        """Point-to-point send."""
+        self.network.send(self.pid, destination, message)
+
+    # ---------------------------------------------------------------- blocks
+    def next_batch(self) -> List[Command]:
+        """The commands the leader would put in the next block."""
+        return self.txpool.peek_batch(self.config.batch_size)
+
+    def store_block(self, block: Block) -> None:
+        """Record a block (and charge the hash-check energy once)."""
+        if block.block_hash not in self.blocks:
+            self.blocks.add(block)
+            self.charge_block_hash(block)
+
+    def commit_chain(self, block: Block) -> List[Block]:
+        """Commit ``block`` and its ancestors; update b_com, txpool and acks."""
+        if not self.blocks.has_ancestry(block):
+            # Chain synchronization failed: refuse to commit a dangling block.
+            return []
+        newly_committed = self.log.commit(block, self.sim.now, self.v_cur)
+        if block.height > self.b_com.height:
+            self.b_com = block
+        for committed in newly_committed:
+            self.stats.blocks_committed += 1
+            self.txpool.remove(committed.batch.command_ids)
+            if self.ack_router is not None:
+                for command in committed.batch.commands:
+                    self.ack_router.route(
+                        self.pid, command, committed.height, committed.block_hash
+                    )
+        return newly_committed
+
+    # ---------------------------------------------------------------- client
+    def submit_commands(self, commands: Iterable[Command]) -> int:
+        """Inject client commands into the local pool (no radio energy)."""
+        return self.txpool.add_all(commands)
+
+    # ---------------------------------------------------------------- hooks
+    def on_message(self, sender: int, message: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def committed_height(self) -> int:
+        """Height of the highest committed block."""
+        return self.log.highest_height

@@ -1,0 +1,75 @@
+"""The pending-command pool (``txpool`` in the paper's protocol description).
+
+Every node keeps the commands it has heard from clients in a local pool;
+the leader drains the pool to build proposals and every node removes a
+command once a block containing it commits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+from repro.core.types import Command
+
+
+class TxPool:
+    """An ordered pool of pending client commands."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self._pending: "OrderedDict[str, Command]" = OrderedDict()
+        self.max_size = max_size
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, command_id: str) -> bool:
+        return command_id in self._pending
+
+    def add(self, command: Command) -> bool:
+        """Add a command; returns ``False`` when it was a duplicate or dropped."""
+        if command.command_id in self._pending:
+            return False
+        if self.max_size is not None and len(self._pending) >= self.max_size:
+            self.dropped += 1
+            return False
+        self._pending[command.command_id] = command
+        return True
+
+    def add_all(self, commands: Iterable[Command]) -> int:
+        """Add many commands; returns how many were actually added."""
+        return sum(1 for command in commands if self.add(command))
+
+    def peek_batch(self, batch_size: int) -> List[Command]:
+        """The next ``batch_size`` commands in arrival order (without removal).
+
+        The leader proposes from the pool but does not remove commands until
+        they commit — a command proposed in a block that is later abandoned
+        by a view change must be re-proposable.
+        """
+        if batch_size < 0:
+            raise ValueError("batch size cannot be negative")
+        result = []
+        for command in self._pending.values():
+            if len(result) >= batch_size:
+                break
+            result.append(command)
+        return result
+
+    def remove(self, command_ids: Iterable[str]) -> int:
+        """Remove committed commands; returns how many were present."""
+        removed = 0
+        for command_id in command_ids:
+            if command_id in self._pending:
+                del self._pending[command_id]
+                removed += 1
+        return removed
+
+    def pending_ids(self) -> List[str]:
+        """Ids of all pending commands (arrival order)."""
+        return list(self._pending)
+
+    def clear(self) -> None:
+        """Drop every pending command."""
+        self._pending.clear()

@@ -1,0 +1,151 @@
+"""Signature-scheme energy costs measured by the paper (Table 2).
+
+The paper measures signing and verification energy for a range of ECDSA
+curves, RSA moduli, and HMAC on the NUCLEO-F401RE (ARM Cortex-M4) test
+board using MbedTLS.  These constants are the reproduction's calibration
+points: the simulated schemes in :mod:`repro.crypto.signatures` charge
+exactly these Joule costs per operation, so any protocol-level energy
+number inherits the paper's measured primitive costs.
+
+All values are in Joules per operation, copied from Table 2:
+
+=====================  =========  ==========
+Algorithm / parameters  Sign (J)   Verify (J)
+=====================  =========  ==========
+ECDSA BP160R1              5.80      11.03
+ECDSA BP256R1             13.88      27.34
+ECDSA SECP192R1            0.84       1.50
+ECDSA SECP192K1            1.16       2.24
+ECDSA SECP224R1            1.10       2.14
+ECDSA SECP256R1            1.60       3.04
+ECDSA SECP256K1            1.72       3.35
+RSA 1024-bit               0.40       0.02
+RSA 1260-bit               0.79       0.03
+RSA 2048-bit               2.41       0.06
+HMAC (SHA-256)             0.19       0.19
+=====================  =========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+
+@dataclass(frozen=True)
+class SignatureEnergyCost:
+    """Measured per-operation cost for one signature scheme configuration."""
+
+    name: str
+    family: str
+    parameters: str
+    sign_joules: float
+    verify_joules: float
+    signature_size_bytes: int
+    public_key_size_bytes: int
+
+    @property
+    def verify_to_sign_ratio(self) -> float:
+        """How much cheaper (or more expensive) verification is than signing."""
+        return self.verify_joules / self.sign_joules
+
+    def total_for(self, signs: int, verifies: int) -> float:
+        """Total Joules for the given operation counts."""
+        if signs < 0 or verifies < 0:
+            raise ValueError("operation counts must be non-negative")
+        return signs * self.sign_joules + verifies * self.verify_joules
+
+
+def _cost(
+    name: str,
+    family: str,
+    parameters: str,
+    sign_j: float,
+    verify_j: float,
+    sig_size: int,
+    pk_size: int,
+) -> SignatureEnergyCost:
+    return SignatureEnergyCost(
+        name=name,
+        family=family,
+        parameters=parameters,
+        sign_joules=sign_j,
+        verify_joules=verify_j,
+        signature_size_bytes=sig_size,
+        public_key_size_bytes=pk_size,
+    )
+
+
+ECDSA_BP160R1 = _cost("ecdsa-bp160r1", "ecdsa", "BP160R1", 5.80, 11.03, 48, 40)
+ECDSA_BP256R1 = _cost("ecdsa-bp256r1", "ecdsa", "BP256R1", 13.88, 27.34, 64, 64)
+ECDSA_SECP192R1 = _cost("ecdsa-secp192r1", "ecdsa", "SECP192R1", 0.84, 1.50, 48, 48)
+ECDSA_SECP192K1 = _cost("ecdsa-secp192k1", "ecdsa", "SECP192K1", 1.16, 2.24, 48, 48)
+ECDSA_SECP224R1 = _cost("ecdsa-secp224r1", "ecdsa", "SECP224R1", 1.10, 2.14, 56, 56)
+ECDSA_SECP256R1 = _cost("ecdsa-secp256r1", "ecdsa", "SECP256R1", 1.60, 3.04, 64, 64)
+ECDSA_SECP256K1 = _cost("ecdsa-secp256k1", "ecdsa", "SECP256K1", 1.72, 3.35, 64, 64)
+RSA_1024 = _cost("rsa-1024", "rsa", "1024-bit modulus", 0.40, 0.02, 128, 128)
+RSA_1260 = _cost("rsa-1260", "rsa", "1260-bit modulus", 0.79, 0.03, 158, 158)
+RSA_2048 = _cost("rsa-2048", "rsa", "2048-bit modulus", 2.41, 0.06, 256, 256)
+HMAC_COST = _cost("hmac-sha256", "hmac", "64-byte key", 0.19, 0.19, 32, 0)
+
+#: All measured schemes, keyed by canonical name (Table 2 of the paper).
+SIGNATURE_ENERGY_TABLE: Dict[str, SignatureEnergyCost] = {
+    cost.name: cost
+    for cost in (
+        ECDSA_BP160R1,
+        ECDSA_BP256R1,
+        ECDSA_SECP192R1,
+        ECDSA_SECP192K1,
+        ECDSA_SECP224R1,
+        ECDSA_SECP256R1,
+        ECDSA_SECP256K1,
+        RSA_1024,
+        RSA_1260,
+        RSA_2048,
+        HMAC_COST,
+    )
+}
+
+
+def signature_cost(name: str) -> SignatureEnergyCost:
+    """Look up a scheme's measured cost by name (raises ``KeyError`` if unknown)."""
+    key = name.lower()
+    if key not in SIGNATURE_ENERGY_TABLE:
+        known = ", ".join(sorted(SIGNATURE_ENERGY_TABLE))
+        raise KeyError(f"unknown signature scheme {name!r}; known: {known}")
+    return SIGNATURE_ENERGY_TABLE[key]
+
+
+def schemes_by_family(family: str) -> list[SignatureEnergyCost]:
+    """All measured configurations of one family ('ecdsa', 'rsa', 'hmac')."""
+    return [c for c in SIGNATURE_ENERGY_TABLE.values() if c.family == family]
+
+
+def cheapest_verification(candidates: Iterable[SignatureEnergyCost] | None = None) -> SignatureEnergyCost:
+    """The scheme with the lowest verification energy.
+
+    The paper's observation that "verification-efficient RSA signatures are
+    more energy-efficient than the ECDSA signature scheme" for the
+    one-signer/many-verifiers pattern of SMR is exactly this query.
+    """
+    pool = list(candidates) if candidates is not None else list(SIGNATURE_ENERGY_TABLE.values())
+    if not pool:
+        raise ValueError("no candidate schemes supplied")
+    return min(pool, key=lambda c: c.verify_joules)
+
+
+def best_for_leader_pattern(
+    verifiers: int,
+    candidates: Iterable[SignatureEnergyCost] | None = None,
+) -> SignatureEnergyCost:
+    """The cheapest scheme for the "one leader signs, n-1 nodes verify" pattern.
+
+    Args:
+        verifiers: Number of verification operations per signing operation.
+    """
+    if verifiers < 0:
+        raise ValueError("verifiers must be non-negative")
+    pool = list(candidates) if candidates is not None else list(SIGNATURE_ENERGY_TABLE.values())
+    if not pool:
+        raise ValueError("no candidate schemes supplied")
+    return min(pool, key=lambda c: c.sign_joules + verifiers * c.verify_joules)

@@ -1,0 +1,84 @@
+"""Hashing utilities with energy-aware cost reporting.
+
+The paper instantiates its MAC and hash primitives with SHA-256 and reports
+that "the cost of hashing increased linearly with message size".  The
+:class:`HashFunction` wrapper exposes both the digest and the energy that a
+CPS node would spend computing it, so the energy meter can charge hashing
+where protocols hash blocks (hash-chaining, voting on H(prop)).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+#: Baseline energy (Joules) for hashing an empty message on the CPS board.
+#: Derived from the paper's HMAC figure (0.19 J), which is dominated by the
+#: underlying SHA-256 invocation on a short input.
+HASH_BASE_ENERGY_J = 0.00019
+
+#: Incremental energy (Joules) per byte hashed.  The paper reports linear
+#: growth with message size; this slope keeps a 1 kB hash well under the
+#: cost of a signature, matching the measured ordering of primitives.
+HASH_PER_BYTE_ENERGY_J = 0.0000002
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialize an arbitrary (JSON-able or reprable) payload deterministically."""
+    if isinstance(payload, bytes):
+        return payload
+    if isinstance(payload, str):
+        return payload.encode("utf-8")
+    try:
+        return json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    except (TypeError, ValueError):
+        return repr(payload).encode("utf-8")
+
+
+def sha256_hex(payload: Any) -> str:
+    """SHA-256 hex digest of a canonical serialization of ``payload``."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class HashResult:
+    """A digest together with the energy spent producing it."""
+
+    digest: str
+    input_size_bytes: int
+    energy_joules: float
+
+
+class HashFunction:
+    """SHA-256 with per-invocation energy accounting."""
+
+    name = "sha256"
+
+    def __init__(
+        self,
+        base_energy_j: float = HASH_BASE_ENERGY_J,
+        per_byte_energy_j: float = HASH_PER_BYTE_ENERGY_J,
+    ) -> None:
+        self.base_energy_j = base_energy_j
+        self.per_byte_energy_j = per_byte_energy_j
+        self.invocations = 0
+        self.total_bytes = 0
+
+    def energy_for_size(self, size_bytes: int) -> float:
+        """Energy (J) to hash a message of ``size_bytes`` bytes."""
+        if size_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        return self.base_energy_j + self.per_byte_energy_j * size_bytes
+
+    def digest(self, payload: Any) -> HashResult:
+        """Hash ``payload`` and report both digest and energy."""
+        data = canonical_bytes(payload)
+        self.invocations += 1
+        self.total_bytes += len(data)
+        return HashResult(
+            digest=hashlib.sha256(data).hexdigest(),
+            input_size_bytes=len(data),
+            energy_joules=self.energy_for_size(len(data)),
+        )

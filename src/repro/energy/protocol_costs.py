@@ -1,0 +1,232 @@
+"""Closed-form per-consensus cost models for each protocol.
+
+These are the analytic psi functions the paper builds "in MATLAB" to count
+operations per consensus unit and price them with measured primitive
+costs.  They are deliberately simple operation counts — the simulation in
+:mod:`repro.eval` measures the same quantities empirically — and are the
+inputs to the feasible-region analysis of Fig. 1 and to the bounds of
+Section 4.
+
+Conventions:
+
+* costs are summed over all *correct CPS nodes* for one consensus unit
+  (the trusted control node's own energy is excluded, as in the paper);
+* ``params.k`` is the multicast degree, ``params.d`` the number of
+  neighbours a node forwards to during flooding;
+* view-change costs are per view-change event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.energy.model import CostFunction, CostParameters
+
+
+@dataclass(frozen=True)
+class ProtocolCostModel:
+    """Best-case, view-change and worst-case cost functions for one protocol."""
+
+    name: str
+    best_case: CostFunction
+    view_change: CostFunction
+
+    def worst_case(self, params: CostParameters) -> float:
+        """psi_W = psi_B + psi_V (the paper assumes psi_V = psi_W - psi_B)."""
+        return self.best_case(params) + self.view_change(params)
+
+    def evaluate(self, params: CostParameters) -> Dict[str, float]:
+        """All three costs for one parameter point."""
+        best = self.best_case(params)
+        view = self.view_change(params)
+        return {"best_case": best, "view_change": view, "worst_case": best + view}
+
+
+def _proposal_bytes(params: CostParameters) -> float:
+    """Wire size of a steady-state proposal: payload + parent hash + one signature."""
+    return params.message_bytes + 32 + params.signature_bytes
+
+
+def _vote_bytes(params: CostParameters) -> float:
+    """Wire size of an explicit vote: a hash plus one signature."""
+    return 32 + params.signature_bytes
+
+
+def _certificate_bytes(params: CostParameters) -> float:
+    """Wire size of an f+1 certificate."""
+    return 32 + (params.f + 1) * params.signature_bytes
+
+
+# --------------------------------------------------------------------- EESMR
+def _eesmr_best(params: CostParameters) -> float:
+    """EESMR steady state: one proposal flood, one signature, n-1 verifications.
+
+    Every node transmits the proposal once to its k-cast (flooding) and
+    receives it on each of its k incoming edges; the leader signs once and
+    every other node verifies once.
+    """
+    size = _proposal_bytes(params)
+    transmit = params.n * params.send_cost(size)
+    receive = params.n * params.k * params.recv_cost(size)
+    crypto = params.sign_j + (params.n - 1) * params.verify_j
+    return transmit + receive + crypto
+
+
+def _eesmr_view_change(params: CostParameters) -> float:
+    """EESMR view change: blames, commit-update/certify exchange, two extra rounds.
+
+    Phases (per correct node unless noted):
+      * blame flood: n floods of a blame message;
+      * commit-update flood + f+1 certify votes back to each node;
+      * commit-QC flood (certificate of f+1 signatures);
+      * round 1 (NewViewProposal with f+1 certificates) and round 2
+        (vote certificate) floods plus one explicit vote per node.
+    Signing: each node signs a blame, a certify vote and a round-1 vote.
+    Verification: each node verifies O(n + f^2) signatures (blames, votes,
+    certificates in the status).
+    """
+    n, f, k = params.n, params.f, params.k
+    blame_size = 64 + params.signature_bytes
+    commit_update_size = params.message_bytes + 32 + params.signature_bytes
+    certify_size = _vote_bytes(params)
+    qc_size = _certificate_bytes(params)
+    nv_size = params.message_bytes + (f + 1) * _certificate_bytes(params)
+
+    def flood(size: float) -> float:
+        return n * params.send_cost(size) + n * k * params.recv_cost(size)
+
+    communication = (
+        n * flood(blame_size)                 # every node blames
+        + flood(qc_size)                       # blame certificate
+        + n * flood(commit_update_size)        # every node broadcasts B_com
+        + n * (f + 1) * (params.send_cost(certify_size) + params.recv_cost(certify_size))
+        + n * flood(qc_size)                   # commit certificates broadcast
+        + n * (params.send_cost(qc_size) + params.recv_cost(qc_size))  # QCs to new leader
+        + flood(nv_size)                       # round 1 proposal
+        + n * flood(certify_size)              # round 1 votes
+        + flood(qc_size)                       # round 2 vote certificate
+    )
+    signing = n * 3 * params.sign_j
+    verification = (
+        n * (f + 1) * params.verify_j          # blame certificate checks
+        + n * (f + 1) * params.verify_j        # certify votes / commit QCs
+        + n * (f + 1) * (f + 1) * params.verify_j  # status certificates in round 1
+        + n * (f + 1) * params.verify_j        # round 2 vote certificate
+    )
+    return communication + signing + verification
+
+
+# ------------------------------------------------------------- Sync HotStuff
+def _sync_hotstuff_best(params: CostParameters) -> float:
+    """Sync HotStuff steady state: proposal + n vote floods + certificate checks."""
+    n, k = params.n, params.k
+    proposal_size = _proposal_bytes(params) + _certificate_bytes(params)
+    vote_size = _vote_bytes(params)
+
+    def flood(size: float) -> float:
+        return n * params.send_cost(size) + n * k * params.recv_cost(size)
+
+    communication = flood(proposal_size) + n * flood(vote_size)
+    quorum = n // 2 + 1
+    signing = n * params.sign_j                      # one vote per node
+    verification = n * (1 + 2 * quorum) * params.verify_j  # proposal + cert + votes
+    return communication + signing + verification
+
+
+def _sync_hotstuff_view_change(params: CostParameters) -> float:
+    """Sync HotStuff view change: blames, status (highest certificate), new proposal."""
+    n, f, k = params.n, params.f, params.k
+    blame_size = 64 + params.signature_bytes
+    status_size = params.message_bytes + _certificate_bytes(params)
+
+    def flood(size: float) -> float:
+        return n * params.send_cost(size) + n * k * params.recv_cost(size)
+
+    communication = n * flood(blame_size) + flood(_certificate_bytes(params)) + n * flood(status_size)
+    signing = n * 2 * params.sign_j
+    verification = n * (f + 1) * params.verify_j + n * (f + 1) * params.verify_j
+    return communication + signing + verification
+
+
+# ------------------------------------------------------------------ OptSync
+def _optsync_best(params: CostParameters) -> float:
+    """OptSync steady state: like Sync HotStuff with a 3n/4+1 responsive quorum."""
+    base = _sync_hotstuff_best(params)
+    quorum_shs = params.n // 2 + 1
+    quorum_opt = (3 * params.n) // 4 + 1
+    extra_verifies = params.n * 2 * (quorum_opt - quorum_shs) * params.verify_j
+    return base + extra_verifies
+
+
+# ---------------------------------------------------------- Trusted baseline
+def _trusted_baseline(params: CostParameters) -> float:
+    """Trusted baseline: every node uploads m bytes and downloads the ordered block.
+
+    The trusted node's energy is excluded (it is mains powered); each CPS
+    node pays one external-medium send, one external-medium receive, and a
+    single signature verification of the control node's block.
+    """
+    upload = params.ext_send_cost(params.message_bytes + params.signature_bytes)
+    download = params.ext_recv_cost(params.message_bytes + 32 + params.signature_bytes)
+    return params.n * (upload + download + params.verify_j)
+
+
+def _zero(_: CostParameters) -> float:
+    return 0.0
+
+
+def eesmr_cost_model() -> ProtocolCostModel:
+    """Analytic cost model for EESMR."""
+    return ProtocolCostModel(
+        name="eesmr",
+        best_case=CostFunction("eesmr-best", _eesmr_best),
+        view_change=CostFunction("eesmr-view-change", _eesmr_view_change),
+    )
+
+
+def sync_hotstuff_cost_model() -> ProtocolCostModel:
+    """Analytic cost model for Sync HotStuff."""
+    return ProtocolCostModel(
+        name="sync-hotstuff",
+        best_case=CostFunction("shs-best", _sync_hotstuff_best),
+        view_change=CostFunction("shs-view-change", _sync_hotstuff_view_change),
+    )
+
+
+def optsync_cost_model() -> ProtocolCostModel:
+    """Analytic cost model for OptSync."""
+    return ProtocolCostModel(
+        name="optsync",
+        best_case=CostFunction("optsync-best", _optsync_best),
+        view_change=CostFunction("optsync-view-change", _sync_hotstuff_view_change),
+    )
+
+
+def trusted_baseline_cost_model() -> ProtocolCostModel:
+    """Analytic cost model for the trusted-control-node baseline.
+
+    The baseline has no view change (the trusted node cannot be Byzantine
+    under its trust assumption), so psi_V = 0.
+    """
+    return ProtocolCostModel(
+        name="trusted-baseline",
+        best_case=CostFunction("baseline-best", _trusted_baseline),
+        view_change=CostFunction("baseline-view-change", _zero),
+    )
+
+
+#: Registry of all analytic models, keyed by protocol name.
+COST_MODELS: Dict[str, Callable[[], ProtocolCostModel]] = {
+    "eesmr": eesmr_cost_model,
+    "sync-hotstuff": sync_hotstuff_cost_model,
+    "optsync": optsync_cost_model,
+    "trusted-baseline": trusted_baseline_cost_model,
+}
+
+
+def cost_model(name: str) -> ProtocolCostModel:
+    """Look up an analytic cost model by protocol name."""
+    if name not in COST_MODELS:
+        raise KeyError(f"unknown protocol {name!r}; known: {sorted(COST_MODELS)}")
+    return COST_MODELS[name]()

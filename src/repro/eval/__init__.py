@@ -1,0 +1,27 @@
+"""Experiment harness: runner, workloads and per-figure experiments."""
+
+from repro.eval.runner import DeploymentSpec, ProtocolRunner, RunResult, run_protocol
+from repro.eval.workloads import (
+    generate_commands,
+    commands_for_run,
+    fill_txpools,
+    client_for_run,
+    SensorReadingWorkload,
+)
+from repro.eval import experiments
+from repro.eval.tables import format_table, format_series
+
+__all__ = [
+    "DeploymentSpec",
+    "ProtocolRunner",
+    "RunResult",
+    "run_protocol",
+    "generate_commands",
+    "commands_for_run",
+    "fill_txpools",
+    "client_for_run",
+    "SensorReadingWorkload",
+    "experiments",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,354 @@
+"""Experiment runner: build a deployment, run it, collect metrics.
+
+The runner is the reproduction's equivalent of the paper's test-bed
+harness: given a :class:`DeploymentSpec` it builds the topology, network,
+key material and replicas, pre-loads the workload, runs the simulation to
+quiescence, checks safety, and returns a :class:`RunResult` with the
+energy, communication and protocol metrics every figure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.adversary import FaultPlan, replica_class_for
+from repro.core.baselines.optsync import OptSyncReplica
+from repro.core.baselines.sync_hotstuff import SyncHotStuffReplica
+from repro.core.baselines.trusted_baseline import TrustedBaselineReplica, TrustedControlNode
+from repro.core.client import AckRouter
+from repro.core.config import ProtocolConfig
+from repro.core.eesmr.replica import EesmrReplica
+from repro.core.ledger import SafetyChecker, SafetyReport
+from repro.crypto.keys import KeyStore
+from repro.crypto.signatures import SignatureScheme, make_scheme
+from repro.energy.ledger import ClusterEnergyLedger, EnergyReport
+from repro.energy.meter import EnergyCategory
+from repro.net.hypergraph import Hypergraph
+from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.topology import (
+    fully_connected_topology,
+    ring_kcast_topology,
+    star_topology,
+    unicast_ring_topology,
+)
+from repro.radio.media import MediumUnicastAdapter, lte_medium
+from repro.sim.rng import SeededRNG
+from repro.sim.scheduler import Simulator
+from repro.eval.workloads import client_for_run, commands_for_run, fill_txpools
+
+#: Names accepted by DeploymentSpec.protocol.
+PROTOCOLS = ("eesmr", "sync-hotstuff", "optsync", "trusted-baseline")
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to reproduce one protocol run."""
+
+    protocol: str = "eesmr"
+    n: int = 7
+    f: int = 1
+    k: int = 2
+    topology: str = "ring-kcast"
+    hop_delay: float = 1.0
+    delta: Optional[float] = None
+    signature_scheme: str = "rsa-1024"
+    batch_size: int = 1
+    command_payload_bytes: int = 16
+    target_height: int = 5
+    block_interval: float = 0.0
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    seed: int = 0
+    charge_sleep: bool = False
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
+        if self.k < 1 or self.k > self.n - 1:
+            raise ValueError(f"k must be in [1, n-1], got k={self.k}, n={self.n}")
+
+
+@dataclass
+class RunResult:
+    """Metrics collected from one run."""
+
+    spec: DeploymentSpec
+    config: ProtocolConfig
+    energy: EnergyReport
+    safety: SafetyReport
+    network: NetworkStats
+    sim_time: float
+    committed_heights: Dict[int, int]
+    min_committed_height: int
+    view_changes: int
+    equivocations_detected: int
+    blames_sent: int
+    sign_operations: int
+    verify_operations: int
+    replica_snapshots: Dict[int, dict]
+
+    # ------------------------------------------------------------- derived
+    @property
+    def committed_blocks(self) -> int:
+        """Consensus units completed by every correct node."""
+        return self.min_committed_height
+
+    @property
+    def correct_energy_j(self) -> float:
+        return self.energy.correct_total_joules
+
+    @property
+    def correct_energy_mj(self) -> float:
+        return self.energy.correct_total_joules * 1000.0
+
+    @property
+    def energy_per_block_mj(self) -> float:
+        """Total correct-node energy per committed consensus unit (mJ)."""
+        blocks = max(1, self.committed_blocks)
+        return self.correct_energy_mj / blocks
+
+    @property
+    def leader_energy_mj(self) -> float:
+        return self.energy.leader_joules * 1000.0
+
+    @property
+    def leader_energy_per_block_mj(self) -> float:
+        blocks = max(1, self.committed_blocks)
+        return self.leader_energy_mj / blocks
+
+    @property
+    def replica_energy_per_block_mj(self) -> float:
+        blocks = max(1, self.committed_blocks)
+        return self.energy.mean_replica_joules * 1000.0 / blocks
+
+
+class ProtocolRunner:
+    """Builds and executes deployments described by :class:`DeploymentSpec`."""
+
+    def __init__(self, max_events: int = 2_000_000) -> None:
+        self.max_events = max_events
+
+    # ------------------------------------------------------------ topology
+    def build_topology(self, spec: DeploymentSpec) -> Hypergraph:
+        """The hypergraph for a spec (ring k-cast by default, as in the paper)."""
+        if spec.topology == "ring-kcast":
+            return ring_kcast_topology(spec.n, spec.k)
+        if spec.topology == "fully-connected":
+            return fully_connected_topology(spec.n)
+        if spec.topology == "unicast-ring":
+            return unicast_ring_topology(spec.n, spec.k)
+        if spec.topology == "star":
+            return star_topology(spec.n + 1, center=spec.n)
+        raise ValueError(f"unknown topology {spec.topology!r}")
+
+    def compute_delta(self, spec: DeploymentSpec, topology: Hypergraph) -> float:
+        """A Δ that upper-bounds flooded delivery plus a unicast response."""
+        if spec.delta is not None:
+            return spec.delta
+        diameter = max(1, topology.diameter())
+        return (diameter + 2) * spec.hop_delay
+
+    # --------------------------------------------------------------- running
+    def run(self, spec: DeploymentSpec) -> RunResult:
+        """Execute one deployment to quiescence and collect its metrics."""
+        if spec.protocol == "trusted-baseline":
+            return self._run_trusted_baseline(spec)
+        return self._run_replicated(spec)
+
+    # ----------------------------------------------------- replicated runs
+    def _run_replicated(self, spec: DeploymentSpec) -> RunResult:
+        sim = Simulator()
+        rng = SeededRNG(spec.seed)
+        topology = self.build_topology(spec)
+        delta = self.compute_delta(spec, topology)
+        ledger = ClusterEnergyLedger(topology.nodes)
+        network = SimulatedNetwork(
+            sim,
+            topology,
+            ledger,
+            rng=rng.child("network"),
+            hop_delay=spec.hop_delay,
+            jitter=spec.jitter,
+        )
+        keystore = KeyStore(seed=spec.seed)
+        keystore.generate(topology.nodes)
+        scheme = make_scheme(spec.signature_scheme, keystore=keystore)
+        config = ProtocolConfig(
+            n=spec.n,
+            f=spec.f,
+            delta=delta,
+            signature_scheme=spec.signature_scheme,
+            batch_size=spec.batch_size,
+            command_payload_bytes=spec.command_payload_bytes,
+            target_height=spec.target_height,
+            block_interval=spec.block_interval,
+        )
+        client = client_for_run(spec.f, spec.command_payload_bytes, spec.seed)
+        ack_router = AckRouter([client])
+
+        replicas = self._build_replicas(sim, spec, config, scheme, network, ledger, ack_router)
+        for replica in replicas.values():
+            network.register(replica)
+        for pid in spec.fault_plan.faulty:
+            network.set_relay_policy(pid, lambda _origin, _message: False)
+
+        commands = commands_for_run(
+            spec.target_height,
+            spec.batch_size,
+            spec.command_payload_bytes,
+            seed=spec.seed,
+        )
+        for command in commands:
+            client.submitted[command.command_id] = command
+        fill_txpools(replicas.values(), commands)
+
+        for replica in replicas.values():
+            replica.start()
+        sim.run_until_idle(max_events=self.max_events)
+
+        return self._collect(spec, config, sim, ledger, network, scheme, replicas)
+
+    def _build_replicas(
+        self,
+        sim: Simulator,
+        spec: DeploymentSpec,
+        config: ProtocolConfig,
+        scheme: SignatureScheme,
+        network: SimulatedNetwork,
+        ledger: ClusterEnergyLedger,
+        ack_router: AckRouter,
+    ) -> Dict[int, object]:
+        replicas: Dict[int, object] = {}
+        for pid in range(spec.n):
+            meter = ledger.meter(pid)
+            if spec.protocol == "eesmr":
+                cls, kwargs = replica_class_for(spec.fault_plan, pid)
+                replica = cls(sim, pid, config, scheme, network, meter, ack_router, **kwargs)
+            else:
+                base_cls = SyncHotStuffReplica if spec.protocol == "sync-hotstuff" else OptSyncReplica
+                replica = base_cls(sim, pid, config, scheme, network, meter, ack_router)
+                if pid in spec.fault_plan.faulty:
+                    # Baseline faults are modelled as fail-stop at the trigger time.
+                    replica.after(spec.fault_plan.crash_time, replica.crash, label="crash")
+            replicas[pid] = replica
+        return replicas
+
+    # ----------------------------------------------- trusted baseline runs
+    def _run_trusted_baseline(self, spec: DeploymentSpec) -> RunResult:
+        sim = Simulator()
+        rng = SeededRNG(spec.seed)
+        control_id = spec.n
+        topology = star_topology(spec.n + 1, center=control_id)
+        ledger = ClusterEnergyLedger(topology.nodes)
+        network = SimulatedNetwork(
+            sim,
+            topology,
+            ledger,
+            rng=rng.child("network"),
+            unicast_radio=MediumUnicastAdapter(lte_medium()),
+            hop_delay=spec.hop_delay,
+            jitter=spec.jitter,
+        )
+        delta = spec.delta if spec.delta is not None else 3 * spec.hop_delay
+        keystore = KeyStore(seed=spec.seed)
+        keystore.generate(topology.nodes)
+        scheme = make_scheme(spec.signature_scheme, keystore=keystore)
+        config = ProtocolConfig(
+            n=spec.n,
+            f=spec.f,
+            delta=delta,
+            signature_scheme=spec.signature_scheme,
+            batch_size=spec.batch_size,
+            command_payload_bytes=spec.command_payload_bytes,
+            target_height=spec.target_height,
+            block_interval=spec.block_interval,
+        )
+        client = client_for_run(spec.f, spec.command_payload_bytes, spec.seed)
+        ack_router = AckRouter([client])
+
+        control = TrustedControlNode(
+            sim, control_id, config, scheme, network, round_interval=max(spec.hop_delay, 0.5)
+        )
+        replicas: Dict[int, TrustedBaselineReplica] = {}
+        for pid in range(spec.n):
+            replicas[pid] = TrustedBaselineReplica(
+                sim, pid, config, scheme, network, ledger.meter(pid), control_id, ack_router
+            )
+        control.replica_ids = list(replicas)
+        network.register(control)
+        for replica in replicas.values():
+            network.register(replica)
+
+        commands = commands_for_run(
+            spec.target_height, spec.batch_size, spec.command_payload_bytes, seed=spec.seed
+        )
+        fill_txpools(replicas.values(), commands)
+        control.start()
+        for replica in replicas.values():
+            replica.start()
+        sim.run_until_idle(max_events=self.max_events)
+        return self._collect(
+            spec, config, sim, ledger, network, scheme, replicas, exclude_from_energy={control_id}
+        )
+
+    # ------------------------------------------------------------ collection
+    def _collect(
+        self,
+        spec: DeploymentSpec,
+        config: ProtocolConfig,
+        sim: Simulator,
+        ledger: ClusterEnergyLedger,
+        network: SimulatedNetwork,
+        scheme: SignatureScheme,
+        replicas: Dict[int, object],
+        exclude_from_energy: Optional[set[int]] = None,
+    ) -> RunResult:
+        faulty = set(spec.fault_plan.faulty) | set(exclude_from_energy or ())
+        if spec.charge_sleep:
+            for pid, meter in ledger.meters.items():
+                if pid not in faulty:
+                    meter.charge_sleep(sim.now, sim.now)
+        leader = config.leader_of(1)
+        energy = ledger.report(leader=leader, faulty=faulty)
+        logs = {pid: replica.log for pid, replica in replicas.items()}
+        checker = SafetyChecker(logs, faulty=spec.fault_plan.faulty)
+        safety = checker.check()
+        committed_heights = {pid: replica.committed_height for pid, replica in replicas.items()}
+        correct_heights = [
+            height for pid, height in committed_heights.items() if pid not in spec.fault_plan.faulty
+        ]
+        view_changes = max(
+            (
+                replica.stats.view_changes_completed
+                for pid, replica in replicas.items()
+                if pid not in spec.fault_plan.faulty
+            ),
+            default=0,
+        )
+        return RunResult(
+            spec=spec,
+            config=config,
+            energy=energy,
+            safety=safety,
+            network=network.stats,
+            sim_time=sim.now,
+            committed_heights=committed_heights,
+            min_committed_height=min(correct_heights, default=0),
+            view_changes=view_changes,
+            equivocations_detected=sum(
+                replica.stats.equivocations_detected for replica in replicas.values()
+            ),
+            blames_sent=sum(replica.stats.blames_sent for replica in replicas.values()),
+            sign_operations=scheme.total_sign_operations(),
+            verify_operations=scheme.total_verify_operations(),
+            replica_snapshots={
+                pid: replica.describe() if hasattr(replica, "describe") else {}
+                for pid, replica in replicas.items()
+            },
+        )
+
+
+def run_protocol(spec: DeploymentSpec) -> RunResult:
+    """Convenience one-shot runner."""
+    return ProtocolRunner().run(spec)

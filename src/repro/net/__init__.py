@@ -1,0 +1,28 @@
+"""Network substrate: hypergraph model, topologies and the simulated transport."""
+
+from repro.net.hypergraph import HyperEdge, Hypergraph
+from repro.net.topology import (
+    ring_kcast_topology,
+    fully_connected_topology,
+    unicast_ring_topology,
+    star_topology,
+    random_kcast_topology,
+)
+from repro.net.network import (
+    SimulatedNetwork,
+    NetworkStats,
+    default_wire_size,
+)
+
+__all__ = [
+    "HyperEdge",
+    "Hypergraph",
+    "ring_kcast_topology",
+    "fully_connected_topology",
+    "unicast_ring_topology",
+    "star_topology",
+    "random_kcast_topology",
+    "SimulatedNetwork",
+    "NetworkStats",
+    "default_wire_size",
+]

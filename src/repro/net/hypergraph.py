@@ -1,0 +1,230 @@
+"""Hypergraph network model (Appendix A of the paper).
+
+A CPS deployment where nodes can reach several neighbours with a single
+wireless multicast is modelled as a hypergraph ``H = (N, E)`` whose
+hyper-edges are ``(sender, receiver-set)`` pairs (Definition A.1).  This
+module implements the paper's definitions and fault-tolerance results:
+
+* in-degree / out-degree of a node as *distinct reachable nodes*
+  (Definitions A.3 and A.4);
+* ``D_in`` / ``D_out`` as the minimum number of incoming / outgoing
+  hyper-edges over all nodes;
+* independence of edges (Definition A.2);
+* the necessary fault-tolerance conditions
+  ``f < min_p (d_out(p), d_in(p))`` (Lemma A.5) and
+  ``f < k * min(D_in, D_out)`` (Lemma A.6);
+* partition resistance: the graph stays strongly connected after removing
+  any ``f`` nodes (the assumption the protocol section relies on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class HyperEdge:
+    """A directed multicast edge: one sender, a set of receivers.
+
+    Self-loops are excluded by construction, matching Definition A.1
+    (``S(e) not in R(e)``).
+    """
+
+    sender: int
+    receivers: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.receivers:
+            raise ValueError("a hyper-edge must have at least one receiver")
+        if self.sender in self.receivers:
+            raise ValueError(
+                f"self-loops are not allowed: sender {self.sender} in receivers"
+            )
+
+    @property
+    def degree(self) -> int:
+        """Number of receivers (the edge's k)."""
+        return len(self.receivers)
+
+    @staticmethod
+    def make(sender: int, receivers: Iterable[int]) -> "HyperEdge":
+        """Convenience constructor from any iterable of receivers."""
+        return HyperEdge(sender=sender, receivers=frozenset(receivers))
+
+
+@dataclass
+class Hypergraph:
+    """A directed communication hypergraph (Definition A.1)."""
+
+    nodes: List[int]
+    edges: List[HyperEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise ValueError("duplicate node ids")
+        for edge in self.edges:
+            self._validate_edge(edge, node_set)
+
+    @staticmethod
+    def _validate_edge(edge: HyperEdge, node_set: Set[int]) -> None:
+        if edge.sender not in node_set:
+            raise ValueError(f"edge sender {edge.sender} is not a node")
+        missing = edge.receivers - node_set
+        if missing:
+            raise ValueError(f"edge receivers {sorted(missing)} are not nodes")
+
+    # -------------------------------------------------------------- mutation
+    def add_edge(self, edge: HyperEdge) -> None:
+        """Add a hyper-edge after validating its endpoints."""
+        self._validate_edge(edge, set(self.nodes))
+        self.edges.append(edge)
+
+    # ------------------------------------------------------------- topology
+    def out_edges(self, node: int) -> List[HyperEdge]:
+        """Hyper-edges on which ``node`` is the sender."""
+        return [edge for edge in self.edges if edge.sender == node]
+
+    def in_edges(self, node: int) -> List[HyperEdge]:
+        """Hyper-edges on which ``node`` is a receiver."""
+        return [edge for edge in self.edges if node in edge.receivers]
+
+    def out_neighbors(self, node: int) -> Set[int]:
+        """Distinct nodes reachable from ``node`` in one hop."""
+        neighbors: Set[int] = set()
+        for edge in self.out_edges(node):
+            neighbors |= edge.receivers
+        return neighbors
+
+    def in_neighbors(self, node: int) -> Set[int]:
+        """Distinct nodes that can reach ``node`` in one hop."""
+        return {edge.sender for edge in self.in_edges(node)}
+
+    def d_out(self, node: int) -> int:
+        """Out-degree: number of distinct reachable nodes (Definition A.4)."""
+        return len(self.out_neighbors(node))
+
+    def d_in(self, node: int) -> int:
+        """In-degree: number of distinct nodes that can reach ``node`` (Definition A.3)."""
+        return len(self.in_neighbors(node))
+
+    @property
+    def min_d_out(self) -> int:
+        """Minimum out-degree over all nodes."""
+        return min((self.d_out(p) for p in self.nodes), default=0)
+
+    @property
+    def min_d_in(self) -> int:
+        """Minimum in-degree over all nodes."""
+        return min((self.d_in(p) for p in self.nodes), default=0)
+
+    @property
+    def capital_d_out(self) -> int:
+        """``D_out``: minimum number of outgoing hyper-edges over all nodes."""
+        return min((len(self.out_edges(p)) for p in self.nodes), default=0)
+
+    @property
+    def capital_d_in(self) -> int:
+        """``D_in``: minimum number of incoming hyper-edges over all nodes."""
+        return min((len(self.in_edges(p)) for p in self.nodes), default=0)
+
+    @property
+    def k(self) -> int:
+        """The k of the k-casts: the minimum receiver count over all edges."""
+        return min((edge.degree for edge in self.edges), default=0)
+
+    # ----------------------------------------------------------- properties
+    def has_independent_edges(self) -> bool:
+        """Check Definition A.2: no sender has two distinct edge subsets covering the same receivers.
+
+        A sufficient and practical check (the one the paper's "modified
+        spanning tree algorithm" would enforce) is that no edge of a sender
+        is fully covered by the union of that sender's other edges.  This
+        rejects exactly the redundant-edge situation of the paper's example.
+        """
+        for node in self.nodes:
+            edges = self.out_edges(node)
+            for i, edge in enumerate(edges):
+                others: Set[int] = set()
+                for j, other in enumerate(edges):
+                    if i != j:
+                        others |= other.receivers
+                if edge.receivers <= others:
+                    return False
+        return True
+
+    def to_digraph(self, exclude: Optional[Iterable[int]] = None) -> nx.DiGraph:
+        """Flatten to a directed graph on nodes (hyper-edges become stars)."""
+        skip = set(exclude or ())
+        graph = nx.DiGraph()
+        graph.add_nodes_from(n for n in self.nodes if n not in skip)
+        for edge in self.edges:
+            if edge.sender in skip:
+                continue
+            for receiver in edge.receivers:
+                if receiver not in skip:
+                    graph.add_edge(edge.sender, receiver)
+        return graph
+
+    def is_strongly_connected(self, exclude: Optional[Iterable[int]] = None) -> bool:
+        """Whether the surviving nodes form a strongly connected digraph."""
+        graph = self.to_digraph(exclude=exclude)
+        if graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_strongly_connected(graph)
+
+    def diameter(self) -> int:
+        """Longest shortest-path length between any two nodes (hop count)."""
+        graph = self.to_digraph()
+        if graph.number_of_nodes() <= 1:
+            return 0
+        if not nx.is_strongly_connected(graph):
+            raise ValueError("diameter undefined: hypergraph is not strongly connected")
+        return nx.diameter(graph)
+
+    # ------------------------------------------------------- fault tolerance
+    def max_faults_necessary_condition(self) -> int:
+        """Largest f satisfying Lemma A.5: f < min_p(d_out(p), d_in(p))."""
+        if not self.nodes:
+            return 0
+        bound = min(min(self.d_out(p), self.d_in(p)) for p in self.nodes)
+        return max(0, bound - 1)
+
+    def max_faults_kcast_condition(self) -> int:
+        """Largest f satisfying Lemma A.6: f < k * min(D_in, D_out)."""
+        bound = self.k * min(self.capital_d_in, self.capital_d_out)
+        return max(0, bound - 1)
+
+    def satisfies_fault_bound(self, f: int) -> bool:
+        """Whether ``f`` faults satisfy the necessary condition of Lemma A.5."""
+        if f < 0:
+            raise ValueError("f cannot be negative")
+        return f <= self.max_faults_necessary_condition()
+
+    def is_partition_resistant(self, f: int, exhaustive_limit: int = 200_000) -> bool:
+        """Whether removing any ``f`` nodes leaves the rest strongly connected.
+
+        For small systems (the paper's experiments use n <= 15) this is an
+        exhaustive check over all subsets of size ``f``; for larger systems
+        it falls back to the directed node-connectivity bound
+        ``kappa(G) > f``, which is a sufficient condition.
+        """
+        if f < 0:
+            raise ValueError("f cannot be negative")
+        if f == 0:
+            return self.is_strongly_connected()
+        if f >= len(self.nodes):
+            return False
+        from math import comb
+
+        if comb(len(self.nodes), f) <= exhaustive_limit:
+            for removed in itertools.combinations(self.nodes, f):
+                if not self.is_strongly_connected(exclude=removed):
+                    return False
+            return True
+        graph = self.to_digraph()
+        return nx.node_connectivity(graph) > f

@@ -1,0 +1,292 @@
+"""Bounded-synchronous simulated network over a hypergraph.
+
+This is the transport that every protocol in :mod:`repro.core` runs on.
+It emulates the paper's CPS deployment:
+
+* the topology is a :class:`repro.net.hypergraph.Hypergraph` of k-casts;
+* a protocol-level *broadcast* is realised by flooding: the origin
+  transmits on its outgoing hyper-edges and every correct node relays each
+  unique message exactly once, so a single protocol message reaches all
+  nodes with O(n * d) physical transmissions — the property EESMR exploits
+  in the steady state;
+* every physical transmission charges radio energy to the sender and to
+  each receiver on the hyper-edge (receivers pay even for duplicates — the
+  radio does not know the payload is old until it has received it), which
+  is why measured energy grows linearly with the in-degree k, as in
+  Fig. 2c;
+* deliveries respect bounded synchrony: with per-hop delay at most
+  ``hop_delay`` the end-to-end delay after flooding is bounded by
+  ``diameter * hop_delay``, and experiments choose the protocol Δ above
+  that bound (see :meth:`SimulatedNetwork.recommended_delta`);
+* Byzantine nodes may silently refuse to relay (their relay policy is
+  pluggable), which is exactly the partitioning threat the hypergraph fault
+  bound (Appendix A) protects against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.crypto.hashing import canonical_bytes
+from repro.energy.ledger import ClusterEnergyLedger
+from repro.net.hypergraph import HyperEdge, Hypergraph
+from repro.radio.ble import BleAdvertisementKCast
+from repro.radio.gatt import BleGattUnicast
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+from repro.sim.rng import SeededRNG
+
+#: Relay policy signature: (origin, message) -> should this node forward it?
+RelayPolicy = Callable[[int, Any], bool]
+
+
+def default_wire_size(message: Any) -> int:
+    """Wire size of a message in bytes.
+
+    Messages that know their own size expose ``wire_size_bytes``; anything
+    else is serialized canonically and measured.
+    """
+    size = getattr(message, "wire_size_bytes", None)
+    if size is not None:
+        return int(size)
+    return len(canonical_bytes(message))
+
+
+@dataclass
+class NetworkStats:
+    """Counters used for communication-complexity measurements (Table 3)."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    physical_transmissions: int = 0
+    physical_bytes: int = 0
+    deliveries: int = 0
+    per_node_transmissions: Dict[int, int] = field(default_factory=dict)
+    per_node_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def record_transmission(self, sender: int, size_bytes: int) -> None:
+        self.physical_transmissions += 1
+        self.physical_bytes += size_bytes
+        self.per_node_transmissions[sender] = self.per_node_transmissions.get(sender, 0) + 1
+        self.per_node_bytes[sender] = self.per_node_bytes.get(sender, 0) + size_bytes
+
+
+class SimulatedNetwork:
+    """Flooding network over a hypergraph with energy accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hypergraph: Hypergraph,
+        ledger: ClusterEnergyLedger,
+        rng: Optional[SeededRNG] = None,
+        kcast_radio: Optional[BleAdvertisementKCast] = None,
+        unicast_radio: Optional[BleGattUnicast] = None,
+        hop_delay: float = 1.0,
+        jitter: bool = True,
+        charge_duplicate_receptions: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.hypergraph = hypergraph
+        self.ledger = ledger
+        self.rng = rng or SeededRNG(0)
+        self.kcast_radio = kcast_radio or BleAdvertisementKCast()
+        self.unicast_radio = unicast_radio or BleGattUnicast()
+        self.hop_delay = hop_delay
+        self.jitter = jitter
+        self.charge_duplicate_receptions = charge_duplicate_receptions
+
+        self.processes: Dict[int, Process] = {}
+        self.relay_policies: Dict[int, RelayPolicy] = {}
+        self.stats = NetworkStats()
+        self._flood_counter = itertools.count()
+        # flood id -> set of node ids that have already relayed it
+        self._relayed: Dict[int, set[int]] = {}
+        # flood ids that must not be relayed beyond the first hop
+        self._single_hop: set[int] = set()
+        # flood id -> set of node ids that have already had it delivered
+        self._delivered: Dict[int, set[int]] = {}
+        self._partition: set[int] = set()
+
+    # ---------------------------------------------------------- registration
+    def register(self, process: Process) -> None:
+        """Attach a process (replica, client, control node) to the network."""
+        if process.pid in self.processes:
+            raise ValueError(f"process {process.pid} already registered")
+        if process.pid not in self.hypergraph.nodes:
+            raise ValueError(f"process {process.pid} is not a node of the topology")
+        self.processes[process.pid] = process
+
+    def set_relay_policy(self, pid: int, policy: RelayPolicy) -> None:
+        """Override the relay behaviour of one node (used for Byzantine nodes)."""
+        self.relay_policies[pid] = policy
+
+    def isolate(self, pid: int) -> None:
+        """Disconnect a node entirely (failure injection helper)."""
+        self._partition.add(pid)
+
+    def reconnect(self, pid: int) -> None:
+        """Undo :meth:`isolate`."""
+        self._partition.discard(pid)
+
+    # -------------------------------------------------------------- timing
+    def _hop_latency(self) -> float:
+        if not self.jitter:
+            return self.hop_delay
+        return self.hop_delay * self.rng.uniform(0.5, 1.0)
+
+    def recommended_delta(self, safety_factor: float = 2.0) -> float:
+        """A Δ that upper-bounds flooding delivery time on this topology."""
+        diameter = self.hypergraph.diameter()
+        return max(1, diameter) * self.hop_delay * safety_factor
+
+    # ------------------------------------------------------------ broadcast
+    def broadcast(self, origin: int, message: Any) -> int:
+        """Flood ``message`` from ``origin`` to every node; returns the flood id.
+
+        The origin is delivered its own message immediately (protocols rely
+        on "the leader also acts as a node"); everyone else receives it when
+        the flood first reaches them.
+        """
+        self._require_registered(origin)
+        flood_id = next(self._flood_counter)
+        self._relayed[flood_id] = set()
+        self._delivered[flood_id] = set()
+        self.stats.broadcasts += 1
+        # Local delivery to the origin (no radio energy).
+        self._deliver(flood_id, origin, origin, message, local=True)
+        self._relay_from(flood_id, origin, origin, message)
+        return flood_id
+
+    def _relay_from(self, flood_id: int, node: int, origin: int, message: Any) -> None:
+        """Transmit ``message`` on all of ``node``'s outgoing hyper-edges."""
+        if node in self._partition:
+            return
+        if node in self._relayed[flood_id]:
+            return
+        if node != origin and flood_id in self._single_hop:
+            # One-hop multicast: receivers do not forward.
+            self._relayed[flood_id].add(node)
+            return
+        policy = self.relay_policies.get(node)
+        if node != origin and policy is not None and not policy(origin, message):
+            # Byzantine (or misconfigured) nodes may silently drop relays;
+            # the hypergraph fault bound guarantees correct nodes still
+            # receive the flood via other paths.
+            self._relayed[flood_id].add(node)
+            return
+        self._relayed[flood_id].add(node)
+        size = default_wire_size(message)
+        for edge in self.hypergraph.out_edges(node):
+            self._transmit_edge(flood_id, edge, origin, message, size)
+
+    def _transmit_edge(
+        self, flood_id: int, edge: HyperEdge, origin: int, message: Any, size: int
+    ) -> None:
+        k = edge.degree
+        cost = self.kcast_radio.transmission_cost(size, k)
+        sender_meter = self.ledger.meter(edge.sender)
+        sender_meter.charge_transmit(
+            cost.sender_energy_j, self.sim.now, detail=f"kcast k={k} {size}B"
+        )
+        self.stats.record_transmission(edge.sender, size)
+        latency = self._hop_latency()
+        for receiver in sorted(edge.receivers):
+            if receiver in self._partition:
+                continue
+            self._schedule_reception(flood_id, edge.sender, receiver, origin, message, cost, latency)
+
+    def _schedule_reception(
+        self,
+        flood_id: int,
+        hop_sender: int,
+        receiver: int,
+        origin: int,
+        message: Any,
+        cost,
+        latency: float,
+    ) -> None:
+        def arrive() -> None:
+            already_delivered = receiver in self._delivered[flood_id]
+            if self.charge_duplicate_receptions or not already_delivered:
+                self.ledger.meter(receiver).charge_receive(
+                    cost.per_receiver_energy_j,
+                    self.sim.now,
+                    detail=f"kcast from {hop_sender}",
+                )
+            if not already_delivered:
+                self._deliver(flood_id, origin, receiver, message)
+                self._relay_from(flood_id, receiver, origin, message)
+
+        self.sim.schedule(latency, arrive, label=f"net:flood{flood_id}->{receiver}")
+
+    def _deliver(
+        self, flood_id: int, origin: int, receiver: int, message: Any, local: bool = False
+    ) -> None:
+        self._delivered[flood_id].add(receiver)
+        process = self.processes.get(receiver)
+        if process is None:
+            return
+        self.stats.deliveries += 1
+        process.deliver(origin, message)
+
+    # -------------------------------------------------------------- unicast
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Point-to-point send from ``src`` to ``dst`` over the unicast radio.
+
+        The base system model assumes point-to-point links exist between all
+        node pairs; the CPS instantiation realises them as (serialised) GATT
+        connections.  Energy is charged to both endpoints; delivery happens
+        after at most one hop delay.
+        """
+        self._require_registered(src)
+        if dst not in self.hypergraph.nodes:
+            raise ValueError(f"destination {dst} is not a node of the topology")
+        if src in self._partition or dst in self._partition:
+            return
+        size = default_wire_size(message)
+        cost = self.unicast_radio.transmission_cost(size)
+        self.ledger.meter(src).charge_transmit(
+            cost.sender_energy_j, self.sim.now, detail=f"unicast->{dst} {size}B"
+        )
+        self.stats.unicasts += 1
+        self.stats.record_transmission(src, size)
+        latency = self._hop_latency()
+
+        def arrive() -> None:
+            self.ledger.meter(dst).charge_receive(
+                cost.receiver_energy_j, self.sim.now, detail=f"unicast from {src}"
+            )
+            process = self.processes.get(dst)
+            if process is not None:
+                self.stats.deliveries += 1
+                process.deliver(src, message)
+
+        self.sim.schedule(latency, arrive, label=f"net:uni {src}->{dst}")
+
+    # ------------------------------------------------------------- helpers
+    def multicast_neighbors(self, origin: int, message: Any) -> None:
+        """One-hop k-cast (no flooding) — used by leader-to-neighbour patterns."""
+        self._require_registered(origin)
+        flood_id = next(self._flood_counter)
+        self._relayed[flood_id] = {origin}
+        self._delivered[flood_id] = {origin}
+        self._single_hop.add(flood_id)
+        size = default_wire_size(message)
+        for edge in self.hypergraph.out_edges(origin):
+            self._transmit_edge(flood_id, edge, origin, message, size)
+
+    def _require_registered(self, pid: int) -> None:
+        if pid not in self.processes:
+            raise ValueError(f"process {pid} is not registered with the network")
+
+    # -------------------------------------------------------------- queries
+    def transmissions_by(self, pid: int) -> int:
+        """Physical transmissions performed by ``pid``."""
+        return self.stats.per_node_transmissions.get(pid, 0)
+
+    def bytes_sent_by(self, pid: int) -> int:
+        """Physical bytes transmitted by ``pid``."""
+        return self.stats.per_node_bytes.get(pid, 0)

@@ -1,0 +1,19 @@
+"""4G LTE medium (thin re-export of the Table 1 tabulated model).
+
+This is the "expensive" medium of the paper's trusted-baseline scenario:
+CPS nodes talk to the trusted control node over 4G, which costs roughly an
+order of magnitude more per byte than WiFi and three orders of magnitude
+more than BLE.
+"""
+
+from __future__ import annotations
+
+from repro.radio.media import TabulatedMediumModel, lte_medium
+
+
+class LteMedium(TabulatedMediumModel):
+    """4G LTE energy model backed by the paper's Table 1 measurements."""
+
+    def __init__(self) -> None:
+        base = lte_medium()
+        super().__init__("4g-lte", dict(base._send), dict(base._recv))

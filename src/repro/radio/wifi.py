@@ -1,0 +1,19 @@
+"""WiFi medium (thin re-export of the Table 1 tabulated model).
+
+Kept as its own module so configuration code and the feasible-region
+analysis can refer to ``repro.radio.wifi.WiFiMedium`` explicitly, mirroring
+how the paper's Fig. 1 scenario puts the CPS nodes on WiFi while the
+trusted control node sits on 4G.
+"""
+
+from __future__ import annotations
+
+from repro.radio.media import TabulatedMediumModel, wifi_medium
+
+
+class WiFiMedium(TabulatedMediumModel):
+    """WiFi energy model backed by the paper's Table 1 measurements."""
+
+    def __init__(self) -> None:
+        base = wifi_medium()
+        super().__init__("wifi", dict(base._send), dict(base._recv))

@@ -1,0 +1,110 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by (time, priority, sequence number).  The sequence
+number guarantees a deterministic total order even when two events are
+scheduled for the same instant, which matters because the protocols under
+test are sensitive to message interleavings and the experiments must be
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        priority: Lower values fire earlier among events at the same time.
+        seq: Monotonically increasing tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires.
+        label: Optional human-readable label used in traces.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event will still fire."""
+        return not self.cancelled
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at virtual ``time`` and return its handle."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next active event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next active event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel an event previously returned by :meth:`push`."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

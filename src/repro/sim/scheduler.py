@@ -1,0 +1,157 @@
+"""The virtual-time simulator driving every experiment in the reproduction.
+
+The simulator is a classic discrete-event loop: events are executed in
+timestamp order, each event may schedule further events, and virtual time
+jumps directly from one event to the next.  The protocols in
+:mod:`repro.core` never read wall-clock time; they only observe
+``Simulator.now`` and the timers built on top of it, which makes runs fully
+deterministic for a given seed and topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly (e.g. time travel)."""
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a virtual clock.
+
+    Args:
+        trace: When true, every executed event is appended to
+            :attr:`trace_log` as ``(time, label)`` tuples.  Traces are used
+            by the integration tests to assert protocol phase ordering.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._executed = 0
+        self.trace_enabled = trace
+        self.trace_log: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far (useful for budget assertions)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, priority, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` when idle."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        self._executed += 1
+        if self.trace_enabled:
+            self.trace_log.append((self._now, event.label))
+        event.callback()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Args:
+            until: Stop once virtual time would exceed this bound.  The clock
+                is advanced to ``until`` when the queue drains earlier.
+            max_events: Safety valve for runaway protocols; raises
+                :class:`SimulationError` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed_here = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                executed_here += 1
+                if max_events is not None and executed_here > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain (bounded by ``max_events``)."""
+        self.run(until=None, max_events=max_events)
+
+    def drain(self, labels: Optional[Iterable[str]] = None) -> None:
+        """Cancel all pending events (optionally only those whose label matches)."""
+        if labels is None:
+            self._queue.clear()
+            return
+        wanted = set(labels)
+        # Rebuild the queue without the matching labels.
+        survivors: list[Event] = []
+        while True:
+            event = self._queue.pop()
+            if event is None:
+                break
+            if event.label in wanted:
+                continue
+            survivors.append(event)
+        for event in survivors:
+            self._queue.push(event.time, event.callback, event.priority, event.label)

@@ -1,0 +1,126 @@
+"""Cancellable, resettable timers built on top of the simulator.
+
+EESMR and the baseline protocols are timer-heavy: ``T_blame`` (progress
+timer), ``T_commit(block)`` (the 4Δ quiet period), the 5Δ/8Δ/6Δ waits of the
+view change.  This module gives protocol code a small, explicit API —
+start / reset / cancel / cancel-all — that mirrors how the pseudo-code in
+Algorithm 2 manipulates its timers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.sim.events import Event
+from repro.sim.scheduler import Simulator
+
+
+class Timer:
+    """A single named timer.
+
+    A timer can be (re)started any number of times; restarting cancels the
+    previous deadline.  The callback fires exactly once per start unless the
+    timer is cancelled first.
+    """
+
+    def __init__(self, sim: Simulator, name: str, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self.name = name
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self.started_at: Optional[float] = None
+        self.deadline: Optional[float] = None
+        self.fired = False
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is armed and has not fired or been cancelled."""
+        return self._event is not None and self._event.active
+
+    def start(self, duration: float) -> None:
+        """Arm (or re-arm) the timer to fire ``duration`` from now."""
+        if duration < 0:
+            raise ValueError(f"timer {self.name}: negative duration {duration}")
+        self.cancel()
+        self.fired = False
+        self.started_at = self._sim.now
+        self.deadline = self._sim.now + duration
+        self._event = self._sim.schedule(
+            duration, self._fire, label=f"timer:{self.name}"
+        )
+
+    def reset(self, duration: float) -> None:
+        """Alias of :meth:`start`; mirrors the pseudo-code's "reset" wording."""
+        self.start(duration)
+
+    def cancel(self) -> None:
+        """Disarm the timer if it is running."""
+        if self._event is not None and self._event.active:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def remaining(self) -> float:
+        """Time left until the timer fires (0 if not running)."""
+        if not self.running or self.deadline is None:
+            return 0.0
+        return max(0.0, self.deadline - self._sim.now)
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fired = True
+        self._callback()
+
+
+class TimerRegistry:
+    """A keyed collection of timers, e.g. one ``T_commit`` per block hash.
+
+    The registry mirrors the protocol pseudo-code operations "set
+    T_commit(B)", "cancel all commit timers T_commit(.)" with an explicit,
+    testable object.
+    """
+
+    def __init__(self, sim: Simulator, prefix: str = "timer") -> None:
+        self._sim = sim
+        self._prefix = prefix
+        self._timers: Dict[Hashable, Timer] = {}
+
+    def __len__(self) -> int:
+        return sum(1 for t in self._timers.values() if t.running)
+
+    def __contains__(self, key: Hashable) -> bool:
+        timer = self._timers.get(key)
+        return timer is not None and timer.running
+
+    def start(self, key: Hashable, duration: float, callback: Callable[[], None]) -> Timer:
+        """Start (or restart) the timer associated with ``key``."""
+        timer = self._timers.get(key)
+        if timer is None:
+            timer = Timer(self._sim, f"{self._prefix}:{key}", callback)
+            self._timers[key] = timer
+        else:
+            timer._callback = callback
+        timer.start(duration)
+        return timer
+
+    def cancel(self, key: Hashable) -> None:
+        """Cancel the timer for ``key`` if it exists."""
+        timer = self._timers.get(key)
+        if timer is not None:
+            timer.cancel()
+
+    def cancel_all(self) -> int:
+        """Cancel every running timer; returns how many were cancelled."""
+        cancelled = 0
+        for timer in self._timers.values():
+            if timer.running:
+                timer.cancel()
+                cancelled += 1
+        return cancelled
+
+    def running_keys(self) -> list[Hashable]:
+        """Keys of all currently armed timers."""
+        return [key for key, timer in self._timers.items() if timer.running]
+
+    def get(self, key: Hashable) -> Optional[Timer]:
+        """Return the timer object for ``key`` (running or not)."""
+        return self._timers.get(key)

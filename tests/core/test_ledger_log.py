@@ -1,0 +1,125 @@
+"""Unit tests for committed logs and the cross-node safety checker."""
+
+import pytest
+
+from repro.core.blocks import BlockStore, make_block
+from repro.core.ledger import CommittedLog, SafetyChecker, SafetyViolation
+from repro.core.types import Command
+
+
+def build_chain(store, length, proposer=0, view=1, tag=""):
+    parent = store.genesis
+    blocks = []
+    for i in range(length):
+        block = make_block(parent, proposer, view, i + 3, [Command(f"{tag}c{i}")])
+        store.add(block)
+        blocks.append(block)
+        parent = block
+    return blocks
+
+
+def test_commit_appends_ancestors_in_order():
+    store = BlockStore()
+    blocks = build_chain(store, 3)
+    log = CommittedLog(0, store)
+    newly = log.commit(blocks[2], now=10.0, view=1)
+    assert [b.height for b in newly] == [1, 2, 3]
+    assert log.highest_height == 3
+    assert len(log) == 3
+
+
+def test_commit_is_idempotent():
+    store = BlockStore()
+    blocks = build_chain(store, 2)
+    log = CommittedLog(0, store)
+    log.commit(blocks[1], now=1.0, view=1)
+    assert log.commit(blocks[1], now=2.0, view=1) == []
+
+
+def test_commit_conflicting_block_raises():
+    store = BlockStore()
+    blocks = build_chain(store, 2)
+    fork = make_block(blocks[0], 9, 2, 4, [Command("fork")])
+    store.add(fork)
+    log = CommittedLog(0, store)
+    log.commit(blocks[1], now=1.0, view=1)
+    with pytest.raises(SafetyViolation):
+        log.commit(fork, now=2.0, view=2)
+
+
+def test_committed_command_ids_linearized():
+    store = BlockStore()
+    blocks = build_chain(store, 3)
+    log = CommittedLog(0, store)
+    log.commit(blocks[2], now=1.0, view=1)
+    assert log.committed_command_ids() == ["c0", "c1", "c2"]
+
+
+def test_commit_latency_lookup():
+    store = BlockStore()
+    blocks = build_chain(store, 1)
+    log = CommittedLog(0, store)
+    log.commit(blocks[0], now=16.0, view=1)
+    assert log.commit_latency(blocks[0].block_hash, proposed_at=4.0) == pytest.approx(12.0)
+    assert log.commit_latency("missing", proposed_at=0.0) is None
+
+
+def test_safety_checker_consistent_logs():
+    store = BlockStore()
+    blocks = build_chain(store, 3)
+    logs = {}
+    for pid in range(3):
+        log = CommittedLog(pid, store)
+        log.commit(blocks[2], now=1.0, view=1)
+        logs[pid] = log
+    report = SafetyChecker(logs).check()
+    assert report.consistent
+    assert report.common_prefix_height == 3
+
+
+def test_safety_checker_detects_conflict():
+    store = BlockStore()
+    blocks = build_chain(store, 2)
+    fork_store = BlockStore()
+    fork_blocks = build_chain(fork_store, 2, proposer=9, tag="f")
+    log_a = CommittedLog(0, store)
+    log_a.commit(blocks[1], now=1.0, view=1)
+    log_b = CommittedLog(1, fork_store)
+    log_b.commit(fork_blocks[1], now=1.0, view=1)
+    checker = SafetyChecker({0: log_a, 1: log_b})
+    report = checker.check()
+    assert not report.consistent
+    with pytest.raises(SafetyViolation):
+        checker.assert_safe()
+
+
+def test_safety_checker_ignores_faulty_nodes():
+    store = BlockStore()
+    blocks = build_chain(store, 2)
+    fork_store = BlockStore()
+    fork_blocks = build_chain(fork_store, 2, proposer=9, tag="f")
+    log_a = CommittedLog(0, store)
+    log_a.commit(blocks[1], now=1.0, view=1)
+    log_bad = CommittedLog(1, fork_store)
+    log_bad.commit(fork_blocks[1], now=1.0, view=1)
+    report = SafetyChecker({0: log_a, 1: log_bad}, faulty=[1]).check()
+    assert report.consistent
+
+
+def test_safety_checker_prefix_with_lagging_node():
+    store = BlockStore()
+    blocks = build_chain(store, 3)
+    fast = CommittedLog(0, store)
+    fast.commit(blocks[2], now=1.0, view=1)
+    slow = CommittedLog(1, store)
+    slow.commit(blocks[0], now=1.0, view=1)
+    checker = SafetyChecker({0: fast, 1: slow})
+    report = checker.check()
+    assert report.consistent
+    assert report.common_prefix_height == 1
+    assert checker.min_committed_height() == 1
+
+
+def test_block_at_returns_none_when_missing():
+    log = CommittedLog(0, BlockStore())
+    assert log.block_at(5) is None

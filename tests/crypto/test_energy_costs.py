@@ -1,0 +1,88 @@
+"""Unit tests for the Table 2 signature energy costs."""
+
+import pytest
+
+from repro.crypto.energy_costs import (
+    ECDSA_SECP256K1,
+    HMAC_COST,
+    RSA_1024,
+    RSA_2048,
+    SIGNATURE_ENERGY_TABLE,
+    best_for_leader_pattern,
+    cheapest_verification,
+    schemes_by_family,
+    signature_cost,
+)
+
+
+def test_table_contains_all_eleven_measured_schemes():
+    assert len(SIGNATURE_ENERGY_TABLE) == 11
+
+
+def test_rsa_1024_values_match_paper():
+    assert RSA_1024.sign_joules == pytest.approx(0.40)
+    assert RSA_1024.verify_joules == pytest.approx(0.02)
+
+
+def test_ecdsa_secp256k1_values_match_paper():
+    assert ECDSA_SECP256K1.sign_joules == pytest.approx(1.72)
+    assert ECDSA_SECP256K1.verify_joules == pytest.approx(3.35)
+
+
+def test_hmac_symmetric_costs():
+    assert HMAC_COST.sign_joules == HMAC_COST.verify_joules == pytest.approx(0.19)
+
+
+def test_rsa_verification_cheaper_than_all_ecdsa():
+    """The paper's key observation motivating RSA for SMR."""
+    for cost in schemes_by_family("ecdsa"):
+        assert RSA_1024.verify_joules < cost.verify_joules
+
+
+def test_rsa_is_verify_asymmetric_ecdsa_is_not():
+    assert RSA_1024.verify_to_sign_ratio < 1.0
+    assert ECDSA_SECP256K1.verify_to_sign_ratio > 1.0
+
+
+def test_brainpool_more_expensive_than_nist_curves():
+    bp = signature_cost("ecdsa-bp160r1")
+    nist = signature_cost("ecdsa-secp192r1")
+    assert bp.sign_joules > nist.sign_joules
+    assert bp.verify_joules > nist.verify_joules
+
+
+def test_signature_cost_lookup_case_insensitive():
+    assert signature_cost("RSA-1024") is RSA_1024
+
+
+def test_signature_cost_unknown_raises():
+    with pytest.raises(KeyError):
+        signature_cost("ed25519")
+
+
+def test_total_for_counts():
+    assert RSA_1024.total_for(2, 10) == pytest.approx(2 * 0.40 + 10 * 0.02)
+
+
+def test_total_for_rejects_negative():
+    with pytest.raises(ValueError):
+        RSA_1024.total_for(-1, 0)
+
+
+def test_cheapest_verification_is_rsa_1024():
+    assert cheapest_verification().name == "rsa-1024"
+
+
+def test_best_for_leader_pattern_prefers_rsa_for_many_verifiers():
+    best = best_for_leader_pattern(verifiers=12)
+    assert best.family == "rsa"
+
+
+def test_best_for_leader_pattern_zero_verifiers_prefers_cheapest_signer():
+    best = best_for_leader_pattern(verifiers=0)
+    assert best.name == "hmac-sha256"
+
+
+def test_rsa_larger_modulus_costs_more():
+    assert RSA_2048.sign_joules > RSA_1024.sign_joules
+    assert RSA_2048.verify_joules > RSA_1024.verify_joules

@@ -1,0 +1,54 @@
+"""Unit tests for hashing with energy accounting."""
+
+import pytest
+
+from repro.crypto.hashing import HashFunction, canonical_bytes, sha256_hex
+
+
+def test_sha256_hex_deterministic():
+    assert sha256_hex({"a": 1, "b": 2}) == sha256_hex({"b": 2, "a": 1})
+
+
+def test_sha256_hex_differs_for_different_payloads():
+    assert sha256_hex("x") != sha256_hex("y")
+
+
+def test_canonical_bytes_handles_bytes_str_and_objects():
+    assert canonical_bytes(b"raw") == b"raw"
+    assert canonical_bytes("text") == b"text"
+    assert isinstance(canonical_bytes({"k": [1, 2]}), bytes)
+
+
+def test_hash_energy_grows_linearly_with_size():
+    fn = HashFunction()
+    small = fn.energy_for_size(100)
+    large = fn.energy_for_size(10_100)
+    assert large > small
+    assert large - small == pytest.approx(10_000 * fn.per_byte_energy_j)
+
+
+def test_hash_energy_rejects_negative_size():
+    with pytest.raises(ValueError):
+        HashFunction().energy_for_size(-1)
+
+
+def test_digest_reports_size_and_energy():
+    fn = HashFunction()
+    result = fn.digest(b"x" * 64)
+    assert result.input_size_bytes == 64
+    assert result.energy_joules == pytest.approx(fn.energy_for_size(64))
+    assert len(result.digest) == 64  # hex sha256
+
+
+def test_digest_counters():
+    fn = HashFunction()
+    fn.digest(b"a")
+    fn.digest(b"bc")
+    assert fn.invocations == 2
+    assert fn.total_bytes == 3
+
+
+def test_hash_cost_well_below_signature_cost():
+    """The paper's ordering: hashing is far cheaper than signing."""
+    fn = HashFunction()
+    assert fn.energy_for_size(1024) < 0.01  # Joules; RSA-1024 sign is 0.4 J

@@ -1,0 +1,109 @@
+"""Unit tests for the Section 4 decision rules."""
+
+import math
+
+import pytest
+
+from repro.crypto.energy_costs import RSA_1024
+from repro.energy.analysis import (
+    breakeven_blocks,
+    compare_protocols,
+    energy_fault_bound,
+    expected_energy,
+    view_change_ratio_bound,
+)
+from repro.energy.model import parameters_from_components
+from repro.energy.protocol_costs import (
+    eesmr_cost_model,
+    sync_hotstuff_cost_model,
+    trusted_baseline_cost_model,
+)
+from repro.radio.media import lte_medium, wifi_medium
+
+
+def params(n=10, f=4, m=256, k=3):
+    return parameters_from_components(
+        n=n, f=f, message_bytes=m, medium=wifi_medium(), signature=RSA_1024,
+        external_medium=lte_medium(), k=k, d=k,
+    )
+
+
+def test_ratio_bound_better_both_phases_is_one():
+    assert view_change_ratio_bound(1.0, 2.0, 3.0, 3.0) == 1.0
+    assert view_change_ratio_bound(1.0, 2.0, 2.0, 3.0) == 1.0
+
+
+def test_ratio_bound_worse_both_phases_is_zero():
+    assert view_change_ratio_bound(2.0, 1.0, 4.0, 3.0) == 0.0
+
+
+def test_ratio_bound_best_case_optimal_tradeoff():
+    # A saves 1 J in the best case, pays 4 J extra per view change:
+    # it wins while fewer than 1/4 of units suffer view changes.
+    assert view_change_ratio_bound(1.0, 2.0, 7.0, 3.0) == pytest.approx(0.25)
+
+
+def test_ratio_bound_clamped_to_unit_interval():
+    assert 0.0 <= view_change_ratio_bound(1.0, 100.0, 7.0, 3.0) <= 1.0
+
+
+def test_energy_fault_bound_formula():
+    # (baseline - best) / (best + view_change)
+    assert energy_fault_bound(10.0, 2.0, 6.0) == pytest.approx(1.0)
+    assert energy_fault_bound(1.0, 2.0, 6.0) == 0.0
+    with pytest.raises(ValueError):
+        energy_fault_bound(1.0, 0.0, 0.0)
+
+
+def test_breakeven_blocks():
+    # Gain 1 J per good block, pay 4 J extra per view change, 2 view changes.
+    assert breakeven_blocks(1.0, 2.0, 7.0, 3.0, view_changes=2) == pytest.approx(8.0)
+    assert breakeven_blocks(2.0, 1.0, 7.0, 3.0, view_changes=2) == math.inf
+    assert breakeven_blocks(1.0, 2.0, 3.0, 7.0, view_changes=2) == 0.0
+    with pytest.raises(ValueError):
+        breakeven_blocks(1.0, 2.0, 3.0, 4.0, view_changes=-1)
+
+
+def test_expected_energy_interpolates_between_cases():
+    model = eesmr_cost_model()
+    point = params()
+    all_good = expected_energy(model, point, 10, 0)
+    some_bad = expected_energy(model, point, 10, 3)
+    assert some_bad > all_good
+    assert all_good == pytest.approx(10 * model.best_case(point))
+    with pytest.raises(ValueError):
+        expected_energy(model, point, 5, 6)
+
+
+def test_compare_eesmr_vs_sync_hotstuff_is_best_case_optimal():
+    comparison = compare_protocols(eesmr_cost_model(), sync_hotstuff_cost_model(), params())
+    assert comparison.best_case_winner == "eesmr"
+    assert comparison.best_case_advantage > 1.0
+    assert 0.0 < comparison.max_view_change_ratio <= 1.0
+    # With no view changes EESMR must win; at 100 % view changes it must not.
+    assert comparison.a_wins_at_ratio(0.0)
+    assert not comparison.a_wins_at_ratio(1.0)
+
+
+def test_compare_a_wins_at_ratio_threshold_consistency():
+    comparison = compare_protocols(eesmr_cost_model(), sync_hotstuff_cost_model(), params())
+    bound = comparison.max_view_change_ratio
+    if bound < 1.0:
+        assert comparison.a_wins_at_ratio(max(0.0, bound - 0.01))
+        assert not comparison.a_wins_at_ratio(min(1.0, bound + 0.01))
+
+
+def test_compare_with_trusted_baseline_small_vs_large_n():
+    """Fig. 1's qualitative content: EESMR wins for small n, loses for large n."""
+    small = compare_protocols(eesmr_cost_model(), trusted_baseline_cost_model(), params(n=4, f=1, k=3))
+    large = compare_protocols(
+        eesmr_cost_model(), trusted_baseline_cost_model(), params(n=36, f=17, k=35)
+    )
+    assert small.best_case_winner == "eesmr"
+    assert large.best_case_winner == "trusted-baseline"
+
+
+def test_a_wins_at_ratio_validates_input():
+    comparison = compare_protocols(eesmr_cost_model(), sync_hotstuff_cost_model(), params())
+    with pytest.raises(ValueError):
+        comparison.a_wins_at_ratio(1.5)

@@ -1,0 +1,61 @@
+"""Unit tests for the Fig. 1 feasible-region analysis."""
+
+import numpy as np
+import pytest
+
+from repro.energy.feasibility import feasible_region
+
+
+@pytest.fixture(scope="module")
+def region():
+    return feasible_region(
+        message_sizes=(256, 1024, 4096),
+        node_counts=tuple(range(4, 41, 4)),
+    )
+
+
+def test_grid_shape(region):
+    assert region.difference.shape == (3, 10)
+    assert list(region.message_sizes) == [256, 1024, 4096]
+
+
+def test_region_contains_both_signs(region):
+    """Fig. 1 shows a genuine feasible region: EESMR wins somewhere, loses somewhere."""
+    assert np.any(region.difference < 0)
+    assert np.any(region.difference > 0)
+    assert 0.0 < region.favourable_fraction < 1.0
+
+
+def test_eesmr_favourable_for_small_n(region):
+    assert region.is_favourable(1024, 4)
+
+
+def test_baseline_favourable_for_large_n(region):
+    assert not region.is_favourable(1024, 40)
+
+
+def test_crossover_monotone_meaning(region):
+    """At the crossover n, smaller systems favour EESMR and larger ones do not."""
+    crossover = region.crossover_n(1024)
+    assert crossover is not None
+    assert region.is_favourable(1024, crossover - 4)
+    assert not region.is_favourable(1024, crossover + 4)
+
+
+def test_summary_rows_cover_all_sizes(region):
+    rows = region.summary_rows()
+    assert [row["message_bytes"] for row in rows] == [256, 1024, 4096]
+    for row in rows:
+        assert row["min_difference_j"] <= row["max_difference_j"]
+        assert 0.0 <= row["favourable_fraction"] <= 1.0
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError):
+        feasible_region(message_sizes=(), node_counts=(4,))
+
+
+def test_fixed_k_region_all_favourable():
+    """With cheap one-hop k=1 local traffic, EESMR beats the 4G baseline everywhere."""
+    region = feasible_region(message_sizes=(256, 1024), node_counts=(4, 8, 16), k=1)
+    assert region.favourable_fraction == 1.0

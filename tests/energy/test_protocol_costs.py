@@ -1,0 +1,98 @@
+"""Unit tests for the analytic per-protocol cost models."""
+
+import pytest
+
+from repro.crypto.energy_costs import RSA_1024
+from repro.energy.model import parameters_from_components
+from repro.energy.protocol_costs import (
+    cost_model,
+    eesmr_cost_model,
+    optsync_cost_model,
+    sync_hotstuff_cost_model,
+    trusted_baseline_cost_model,
+)
+from repro.radio.media import lte_medium, wifi_medium
+
+
+def params(n=10, f=4, m=256, k=3):
+    return parameters_from_components(
+        n=n,
+        f=f,
+        message_bytes=m,
+        medium=wifi_medium(),
+        signature=RSA_1024,
+        external_medium=lte_medium(),
+        k=k,
+        d=k,
+    )
+
+
+def test_registry_lookup():
+    assert cost_model("eesmr").name == "eesmr"
+    with pytest.raises(KeyError):
+        cost_model("pbft")
+
+
+def test_all_costs_positive():
+    point = params()
+    for factory in (eesmr_cost_model, sync_hotstuff_cost_model, optsync_cost_model):
+        model = factory()
+        assert model.best_case(point) > 0
+        assert model.view_change(point) > 0
+    assert trusted_baseline_cost_model().best_case(point) > 0
+    assert trusted_baseline_cost_model().view_change(point) == 0.0
+
+
+def test_eesmr_best_case_cheaper_than_baselines():
+    point = params()
+    eesmr = eesmr_cost_model().best_case(point)
+    assert eesmr < sync_hotstuff_cost_model().best_case(point)
+    assert eesmr < optsync_cost_model().best_case(point)
+
+
+def test_optsync_at_least_as_expensive_as_sync_hotstuff():
+    point = params()
+    assert optsync_cost_model().best_case(point) >= sync_hotstuff_cost_model().best_case(point)
+
+
+def test_eesmr_view_change_more_expensive_than_sync_hotstuff():
+    """The trade-off the paper quantifies: EESMR pays more during a view change."""
+    point = params()
+    assert eesmr_cost_model().view_change(point) > sync_hotstuff_cost_model().view_change(point)
+
+
+def test_worst_case_is_best_plus_view_change():
+    point = params()
+    model = eesmr_cost_model()
+    assert model.worst_case(point) == pytest.approx(
+        model.best_case(point) + model.view_change(point)
+    )
+
+
+def test_evaluate_returns_all_three_components():
+    result = eesmr_cost_model().evaluate(params())
+    assert set(result) == {"best_case", "view_change", "worst_case"}
+
+
+def test_costs_grow_with_message_size():
+    model = eesmr_cost_model()
+    assert model.best_case(params(m=2048)) > model.best_case(params(m=128))
+
+
+def test_costs_grow_with_n():
+    for factory in (eesmr_cost_model, sync_hotstuff_cost_model, trusted_baseline_cost_model):
+        model = factory()
+        assert model.best_case(params(n=30, f=14)) > model.best_case(params(n=6, f=2))
+
+
+def test_sync_hotstuff_grows_faster_with_n_than_eesmr():
+    """Table 3: certificate-based protocols pay O(n^2) verification."""
+    small, large = params(n=6, f=2), params(n=30, f=14)
+    eesmr_growth = eesmr_cost_model().best_case(large) / eesmr_cost_model().best_case(small)
+    shs_growth = sync_hotstuff_cost_model().best_case(large) / sync_hotstuff_cost_model().best_case(small)
+    assert shs_growth > eesmr_growth
+
+
+def test_baseline_independent_of_local_medium_k():
+    baseline = trusted_baseline_cost_model()
+    assert baseline.best_case(params(k=1)) == pytest.approx(baseline.best_case(params(k=5)))

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_run_subcommand_honest(capsys):
+    code = main(["run", "-n", "5", "-f", "1", "-k", "2", "--blocks", "2", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "committed blocks    : 2" in out
+    assert "safety              : OK" in out
+
+
+def test_run_subcommand_with_leader_fault(capsys):
+    code = main(
+        ["run", "-n", "5", "-f", "1", "-k", "2", "--blocks", "1", "--leader-fault", "silent_leader"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "view changes        : 1" in out
+
+
+def test_run_subcommand_other_protocol(capsys):
+    code = main(["run", "--protocol", "sync-hotstuff", "-n", "5", "-f", "1", "-k", "2", "--blocks", "1"])
+    assert code == 0
+    assert "sync-hotstuff" in capsys.readouterr().out
+
+
+def test_experiment_subcommand_table(capsys):
+    code = main(["experiment", "table2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "rsa-1024" in out
+
+
+def test_experiment_names_all_callable():
+    assert set(EXPERIMENTS) >= {"table1", "table2", "table3", "fig2c", "headline"}
+
+
+def test_feasibility_subcommand(capsys):
+    code = main(["feasibility", "--max-nodes", "16", "--payloads", "512"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "payload (B)" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])

@@ -1,0 +1,119 @@
+"""Tests for the per-table / per-figure experiment functions.
+
+These are the library-level checks that the *shapes* reported by the paper
+hold in the reproduction; the benchmarks print the full rows/series.
+Parameters are scaled down so the whole module stays fast.
+"""
+
+import pytest
+
+from repro.eval import experiments as exp
+
+
+def test_table1_rows_match_paper_values():
+    rows = exp.table1_media_energy()
+    assert len(rows) == 4
+    row_256 = rows[0]
+    assert row_256["ble_send_mj"] == pytest.approx(0.73)
+    assert row_256["lte_send_mj"] == pytest.approx(494.84)
+    assert row_256["wifi_recv_mj"] == pytest.approx(66.66)
+
+
+def test_table2_rows_cover_all_schemes_and_rsa_wins_verification():
+    rows = exp.table2_signature_energy()
+    assert len(rows) == 11
+    by_name = {row["scheme"]: row for row in rows}
+    assert by_name["rsa-1024"]["verify_j"] < min(
+        row["verify_j"] for name, row in by_name.items() if row["family"] == "ecdsa"
+    )
+
+
+def test_table3_measured_scaling():
+    rows = exp.table3_complexity(system_sizes=((5, 2), (9, 4)), k=2, blocks=2, seed=61)
+    by_key = {(r.protocol, r.n): r for r in rows}
+    # EESMR: constant signatures per block, transmissions linear in n.
+    assert by_key[("eesmr", 5)].signs_per_block == by_key[("eesmr", 9)].signs_per_block
+    assert by_key[("eesmr", 9)].transmissions_per_block > by_key[("eesmr", 5)].transmissions_per_block
+    # Sync HotStuff: signatures grow with n, verifications grow faster than EESMR's.
+    assert by_key[("sync-hotstuff", 9)].signs_per_block > by_key[("sync-hotstuff", 5)].signs_per_block
+    assert (
+        by_key[("sync-hotstuff", 9)].verifies_per_block
+        > by_key[("eesmr", 9)].verifies_per_block
+    )
+
+
+def test_table3_asymptotic_rows_present():
+    protocols = [row["protocol"] for row in exp.TABLE3_ASYMPTOTIC]
+    assert "EESMR" in protocols and "Sync HotStuff" in protocols
+    eesmr = next(row for row in exp.TABLE3_ASYMPTOTIC if row["protocol"] == "EESMR")
+    assert eesmr["best_sign"] == "O(1)"
+    assert eesmr["worst_block_period"] == "21 Delta"
+
+
+def test_fig1_region_has_crossover():
+    region = exp.fig1_feasible_region(message_sizes=(512, 2048), node_counts=(4, 12, 24, 36))
+    assert 0.0 < region.favourable_fraction < 1.0
+
+
+def test_fig2a_curves_shapes():
+    curves = exp.fig2a_kcast_reliability(ks=(1, 7), max_redundancy=8)
+    assert set(curves) == {1, 7}
+    for k, points in curves.items():
+        failures = [p.failure_probability for p in points]
+        assert failures == sorted(failures, reverse=True)
+    # Larger k fails more often at equal redundancy.
+    assert curves[7][2].failure_probability > curves[1][2].failure_probability
+
+
+def test_fig2b_rows_show_kcast_advantage_shrinking():
+    rows = exp.fig2b_unicast_vs_multicast(payloads=(100, 500), k=7)
+    small, large = rows[0], rows[1]
+    assert small["kcast_send_mj"] < small["unicast_send_dout_k_mj"]
+    ratio_small = small["unicast_send_dout_k_mj"] / small["kcast_send_mj"]
+    ratio_large = large["unicast_send_dout_k_mj"] / large["kcast_send_mj"]
+    assert ratio_large < ratio_small
+
+
+def test_fig2c_energy_grows_with_k_and_leader_above_replica():
+    points = exp.fig2c_leader_vs_replica(n=9, ks=(2, 4), blocks=2, seed=62)
+    assert points[0].leader_mj_per_block > points[0].replica_mj_per_block
+    assert points[1].replica_mj_per_block > points[0].replica_mj_per_block
+
+
+def test_fig2d_block_size_ordering():
+    series = exp.fig2d_block_sizes(n=7, ks=(2, 3), payloads=(16, 256), blocks=2, seed=63)
+    assert series[256][0].leader_mj_per_block > series[16][0].leader_mj_per_block
+
+
+def test_fig2e_view_changes_cost_more_than_honest_smr():
+    points = exp.fig2e_view_change_energy(n=7, fs=(1, 2), blocks=2, seed=64)
+    by_key = {(p.scenario, p.f): p for p in points}
+    for f in (1, 2):
+        assert by_key[("no_progress", f)].mean_correct_mj > by_key[("honest_smr", f)].mean_correct_mj
+        assert by_key[("equivocation", f)].mean_correct_mj > by_key[("honest_smr", f)].mean_correct_mj
+        assert by_key[("no_progress", f)].view_changes == 1
+        assert by_key[("equivocation", f)].view_changes == 1
+
+
+def test_fig2f_eesmr_below_sync_hotstuff_and_scaling():
+    points = exp.fig2f_total_energy_vs_n(ns=(4, 6), ks=(3,), blocks=2, seed=65)
+    by_key = {(p.protocol, p.n): p for p in points}
+    for n in (4, 6):
+        assert by_key[("eesmr", n)].total_mj_per_block < by_key[("sync-hotstuff", n)].total_mj_per_block
+    assert by_key[("sync-hotstuff", 6)].total_mj_per_block > by_key[("sync-hotstuff", 4)].total_mj_per_block
+
+
+def test_fig3_eesmr_wins_honest_case_at_every_f():
+    points = exp.fig3_eesmr_vs_sync_hotstuff(n=7, fs=(1, 2), blocks=2, seed=66)
+    by_key = {(p.protocol, p.scenario, p.f): p for p in points}
+    for f in (1, 2):
+        assert (
+            by_key[("eesmr", "honest_smr", f)].leader_mj
+            < by_key[("sync-hotstuff", "honest_smr", f)].leader_mj
+        )
+
+
+def test_headline_ratios_match_paper_direction():
+    ratios = exp.headline_ratios(n=9, f=4, k=5, blocks=2, seed=67)
+    assert ratios.steady_state_ratio > 1.5
+    assert ratios.view_change_ratio > 1.0

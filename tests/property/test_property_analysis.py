@@ -1,0 +1,108 @@
+"""Property-based tests for the Section 4 energy analysis invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.analysis import (
+    compare_protocols,
+    energy_fault_bound,
+    expected_energy,
+    view_change_ratio_bound,
+)
+from repro.energy.model import CostParameters
+from repro.energy.protocol_costs import eesmr_cost_model, sync_hotstuff_cost_model
+
+positive = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+
+@given(positive, positive, positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_ratio_bound_always_in_unit_interval(best_a, best_b, vc_a, vc_b):
+    bound = view_change_ratio_bound(best_a, best_b, vc_a, vc_b)
+    assert 0.0 <= bound <= 1.0
+
+
+@given(positive, positive, positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_ratio_bound_consistent_with_expected_energy(best_a, best_b, vc_a, vc_b):
+    """In the best-case-optimal region, A wins below the bound and loses above it."""
+    bound = view_change_ratio_bound(best_a, best_b, vc_a, vc_b)
+
+    def expected(best, vc, nu):
+        return (1 - nu) * best + nu * (best + vc)
+
+    eps = 1e-6
+    # Strict inequalities: on the equality boundaries the "region" notion of
+    # Section 4 degenerates and either protocol may trivially dominate.
+    best_case_optimal = best_a < best_b and vc_a > vc_b
+    worst_case_optimal = best_a > best_b and vc_a < vc_b
+    if best_case_optimal:
+        if bound > eps:
+            nu = bound * 0.5
+            assert expected(best_a, vc_a, nu) <= expected(best_b, vc_b, nu) + 1e-6
+        if bound < 1 - eps:
+            nu = bound + (1 - bound) * 0.5
+            assert expected(best_a, vc_a, nu) >= expected(best_b, vc_b, nu) - 1e-6
+    elif worst_case_optimal:
+        if bound < 1 - eps:
+            nu = bound + (1 - bound) * 0.5
+            assert expected(best_a, vc_a, nu) <= expected(best_b, vc_b, nu) + 1e-6
+        if bound > eps:
+            nu = bound * 0.5
+            assert expected(best_a, vc_a, nu) >= expected(best_b, vc_b, nu) - 1e-6
+
+
+@given(positive, positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_energy_fault_bound_nonnegative_and_monotone_in_baseline(baseline, best, vc):
+    bound = energy_fault_bound(baseline, best, vc)
+    assert bound >= 0.0
+    assert energy_fault_bound(baseline * 2, best, vc) >= bound
+
+
+@st.composite
+def cost_parameters(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    f = draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    return CostParameters(
+        n=n,
+        f=f,
+        message_bytes=draw(st.integers(min_value=1, max_value=4096)),
+        send_per_byte_j=draw(st.floats(min_value=1e-7, max_value=1e-3)),
+        recv_per_byte_j=draw(st.floats(min_value=1e-7, max_value=1e-3)),
+        sign_j=draw(st.floats(min_value=0.01, max_value=10.0)),
+        verify_j=draw(st.floats(min_value=0.001, max_value=10.0)),
+        k=draw(st.integers(min_value=1, max_value=max(1, n - 1))),
+        d=1,
+    )
+
+
+@given(cost_parameters())
+@settings(max_examples=80, deadline=None)
+def test_cost_models_positive_and_worst_case_decomposes(params):
+    for model in (eesmr_cost_model(), sync_hotstuff_cost_model()):
+        best = model.best_case(params)
+        vc = model.view_change(params)
+        assert best > 0 and vc > 0
+        assert abs(model.worst_case(params) - (best + vc)) < 1e-9
+
+
+@given(cost_parameters(), st.integers(min_value=0, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_expected_energy_monotone_in_view_changes(params, units):
+    model = eesmr_cost_model()
+    units = max(units, 1)
+    previous = expected_energy(model, params, units, 0)
+    for view_changes in range(1, min(units, 5) + 1):
+        current = expected_energy(model, params, units, view_changes)
+        assert current >= previous
+        previous = current
+
+
+@given(cost_parameters())
+@settings(max_examples=60, deadline=None)
+def test_comparison_winner_consistent_with_costs(params):
+    comparison = compare_protocols(eesmr_cost_model(), sync_hotstuff_cost_model(), params)
+    if comparison.best_a < comparison.best_b:
+        assert comparison.best_case_winner == "eesmr"
+        assert comparison.a_wins_at_ratio(0.0)
+    assert comparison.best_case_advantage >= 1.0

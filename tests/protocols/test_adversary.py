@@ -1,0 +1,55 @@
+"""Unit tests for the adversary fault plans and replica classes."""
+
+import pytest
+
+from repro.core.adversary import (
+    CrashReplica,
+    EquivocatingLeaderReplica,
+    FaultPlan,
+    SilentLeaderReplica,
+    SilentReplica,
+    replica_class_for,
+)
+from repro.core.eesmr.replica import EesmrReplica
+
+
+def test_fault_plan_defaults():
+    plan = FaultPlan()
+    assert plan.faulty == ()
+    assert plan.f_actual == 0
+
+
+def test_replica_class_for_honest_node():
+    cls, kwargs = replica_class_for(FaultPlan(faulty=(2,), behaviour="crash"), pid=0)
+    assert cls is EesmrReplica
+    assert kwargs == {}
+
+
+def test_replica_class_for_crash():
+    cls, kwargs = replica_class_for(FaultPlan(faulty=(2,), behaviour="crash", crash_time=5.0), pid=2)
+    assert cls is CrashReplica
+    assert kwargs == {"crash_time": 5.0}
+
+
+def test_replica_class_for_silent_leader():
+    cls, kwargs = replica_class_for(
+        FaultPlan(faulty=(0,), behaviour="silent_leader", trigger_round=4), pid=0
+    )
+    assert cls is SilentLeaderReplica
+    assert kwargs == {"trigger_round": 4}
+
+
+def test_replica_class_for_equivocate():
+    cls, kwargs = replica_class_for(FaultPlan(faulty=(0,), behaviour="equivocate"), pid=0)
+    assert cls is EquivocatingLeaderReplica
+
+
+def test_replica_class_for_silent():
+    cls, kwargs = replica_class_for(FaultPlan(faulty=(1,), behaviour="silent"), pid=1)
+    assert cls is SilentReplica
+    assert kwargs == {}
+
+
+def test_unknown_behaviour_raises():
+    with pytest.raises(ValueError):
+        replica_class_for(FaultPlan(faulty=(1,), behaviour="teleport"), pid=1)

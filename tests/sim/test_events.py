@@ -1,0 +1,98 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while queue:
+        queue.pop().callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo_by_sequence():
+    queue = EventQueue()
+    order = []
+    for i in range(5):
+        queue.push(1.0, lambda i=i: order.append(i))
+    while queue:
+        queue.pop().callback()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties_before_sequence():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("low"), priority=5)
+    queue.push(1.0, lambda: order.append("high"), priority=0)
+    while queue:
+        queue.pop().callback()
+    assert order == ["high", "low"]
+
+
+def test_cancel_skips_event():
+    queue = EventQueue()
+    fired = []
+    event = queue.push(1.0, lambda: fired.append("x"))
+    queue.push(2.0, lambda: fired.append("y"))
+    queue.cancel(event)
+    while queue:
+        queue.pop().callback()
+    assert fired == ["y"]
+
+
+def test_cancel_updates_length():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_double_cancel_does_not_corrupt_count():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_peek_time_ignores_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.peek_time() == 2.0
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-1.0, lambda: None)
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert not queue
+    assert queue.pop() is None
+
+
+def test_event_active_flag():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert event.active
+    event.cancel()
+    assert not event.active

@@ -1,0 +1,68 @@
+"""Unit tests for the process abstraction."""
+
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class Recorder(Process):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+
+
+def test_deliver_dispatches_to_on_message():
+    sim = Simulator()
+    proc = Recorder(sim, 1)
+    proc.deliver(2, "hello")
+    assert proc.received == [(2, "hello")]
+    assert proc.delivered_count == 1
+
+
+def test_crashed_process_ignores_deliveries():
+    sim = Simulator()
+    proc = Recorder(sim, 1)
+    proc.crash()
+    proc.deliver(2, "hello")
+    assert proc.received == []
+    assert proc.delivered_count == 0
+
+
+def test_recover_resumes_deliveries():
+    sim = Simulator()
+    proc = Recorder(sim, 1)
+    proc.crash()
+    proc.recover()
+    proc.deliver(2, "hi")
+    assert proc.received == [(2, "hi")]
+
+
+def test_after_callback_guarded_by_crash():
+    sim = Simulator()
+    proc = Recorder(sim, 1)
+    calls = []
+    proc.after(1.0, lambda: calls.append("a"))
+    proc.after(2.0, lambda: calls.append("b"))
+    sim.run(until=1.5)
+    proc.crash()
+    sim.run_until_idle()
+    assert calls == ["a"]
+
+
+def test_default_name_and_repr():
+    proc = Recorder(Simulator(), 7)
+    assert proc.name == "p7"
+    assert "Recorder" in repr(proc)
+
+
+def test_make_timer_is_bound_to_process_name():
+    sim = Simulator()
+    proc = Recorder(sim, 3)
+    fired = []
+    timer = proc.make_timer("blame", lambda: fired.append(1))
+    assert timer.name == "p3:blame"
+    timer.start(1.0)
+    sim.run_until_idle()
+    assert fired == [1]

@@ -1,0 +1,112 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run_until_idle()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_execute_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_can_schedule_followups():
+    sim = Simulator()
+    times = []
+
+    def first():
+        times.append(sim.now)
+        sim.schedule(2.0, second)
+
+    def second():
+        times.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert times == [1.0, 3.0]
+
+
+def test_run_until_bound_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run_until_idle()
+    assert fired == [1, 10]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_max_events_guard_detects_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_executed_and_pending_counters():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run_until_idle()
+    assert sim.executed_events == 2
+    assert sim.pending_events == 0
+
+
+def test_trace_log_records_labels():
+    sim = Simulator(trace=True)
+    sim.schedule(1.0, lambda: None, label="first")
+    sim.schedule(2.0, lambda: None, label="second")
+    sim.run_until_idle()
+    assert sim.trace_log == [(1.0, "first"), (2.0, "second")]
+
+
+def test_step_returns_false_when_idle():
+    assert Simulator().step() is False

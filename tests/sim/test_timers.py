@@ -1,0 +1,108 @@
+"""Unit tests for timers and the timer registry."""
+
+import pytest
+
+from repro.sim.scheduler import Simulator
+from repro.sim.timers import Timer, TimerRegistry
+
+
+def test_timer_fires_after_duration():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, "t", lambda: fired.append(sim.now))
+    timer.start(4.0)
+    sim.run_until_idle()
+    assert fired == [4.0]
+    assert timer.fired
+
+
+def test_timer_restart_supersedes_previous_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, "t", lambda: fired.append(sim.now))
+    timer.start(4.0)
+    sim.run(until=2.0)
+    timer.start(4.0)  # re-arm at t=2 -> fires at 6
+    sim.run_until_idle()
+    assert fired == [6.0]
+
+
+def test_timer_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, "t", lambda: fired.append(1))
+    timer.start(4.0)
+    timer.cancel()
+    sim.run_until_idle()
+    assert fired == []
+    assert not timer.running
+
+
+def test_timer_remaining():
+    sim = Simulator()
+    timer = Timer(sim, "t", lambda: None)
+    timer.start(10.0)
+    sim.run(until=4.0)
+    assert timer.remaining() == pytest.approx(6.0)
+
+
+def test_timer_negative_duration_rejected():
+    timer = Timer(Simulator(), "t", lambda: None)
+    with pytest.raises(ValueError):
+        timer.start(-1.0)
+
+
+def test_registry_starts_independent_timers():
+    sim = Simulator()
+    fired = []
+    registry = TimerRegistry(sim, prefix="commit")
+    registry.start("a", 2.0, lambda: fired.append("a"))
+    registry.start("b", 4.0, lambda: fired.append("b"))
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_registry_cancel_all():
+    sim = Simulator()
+    fired = []
+    registry = TimerRegistry(sim, prefix="commit")
+    registry.start("a", 2.0, lambda: fired.append("a"))
+    registry.start("b", 4.0, lambda: fired.append("b"))
+    cancelled = registry.cancel_all()
+    sim.run_until_idle()
+    assert cancelled == 2
+    assert fired == []
+
+
+def test_registry_cancel_single_key():
+    sim = Simulator()
+    fired = []
+    registry = TimerRegistry(sim, prefix="commit")
+    registry.start("a", 2.0, lambda: fired.append("a"))
+    registry.start("b", 4.0, lambda: fired.append("b"))
+    registry.cancel("a")
+    sim.run_until_idle()
+    assert fired == ["b"]
+
+
+def test_registry_restart_replaces_callback():
+    sim = Simulator()
+    fired = []
+    registry = TimerRegistry(sim, prefix="commit")
+    registry.start("a", 2.0, lambda: fired.append("old"))
+    registry.start("a", 3.0, lambda: fired.append("new"))
+    sim.run_until_idle()
+    assert fired == ["new"]
+
+
+def test_registry_len_and_contains_count_running_only():
+    sim = Simulator()
+    registry = TimerRegistry(sim, prefix="commit")
+    registry.start("a", 2.0, lambda: None)
+    registry.start("b", 3.0, lambda: None)
+    assert len(registry) == 2
+    assert "a" in registry
+    registry.cancel("a")
+    assert len(registry) == 1
+    assert "a" not in registry
+    assert registry.running_keys() == ["b"]
