@@ -1,0 +1,20 @@
+# Test entry points.
+#
+#   make test-fast    tier-1: everything except the opt-in sweeps (~15s)
+#   make test-matrix  the exhaustive scenario-matrix sweeps (+ slow cells)
+#   make test-all     both of the above
+#
+# The default pytest run (pytest.ini addopts) equals test-fast; the matrix
+# sweeps are the opt-in CI job every scale/perf PR should also run.
+
+PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
+
+.PHONY: test-fast test-matrix test-all
+
+test-fast:
+	$(PYTEST) -x -q
+
+test-matrix:
+	$(PYTEST) -q -m "matrix or slow" tests/testkit
+
+test-all: test-fast test-matrix

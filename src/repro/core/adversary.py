@@ -27,14 +27,20 @@ from repro.core.messages import MessageType
 from repro.core.types import Round
 
 
+#: Behaviours a :class:`FaultPlan` may name (the keys of the class table
+#: built at the bottom of this module).
+ALLOWED_BEHAVIOURS = ("crash", "silent_leader", "equivocate", "silent")
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Which nodes are faulty and how they misbehave.
 
     Attributes:
         faulty: Node ids under adversary control.
-        behaviour: One of ``"crash"``, ``"silent_leader"``,
-            ``"equivocate"``, ``"silent"``.
+        behaviour: One of :data:`ALLOWED_BEHAVIOURS`; anything else raises
+            ``ValueError`` at construction so a typo cannot silently run an
+            honest deployment.
         trigger_round: Steady-state round at which a leader misbehaviour is
             triggered (proposals before it are honest).
         crash_time: Virtual time at which ``"crash"`` nodes stop.
@@ -44,6 +50,15 @@ class FaultPlan:
     behaviour: str = "crash"
     trigger_round: Round = 3
     crash_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in ALLOWED_BEHAVIOURS:
+            raise ValueError(
+                f"unknown adversary behaviour {self.behaviour!r}; "
+                f"allowed: {ALLOWED_BEHAVIOURS}"
+            )
+        if self.crash_time < 0:
+            raise ValueError(f"crash_time cannot be negative: {self.crash_time}")
 
     @property
     def f_actual(self) -> int:
@@ -137,16 +152,36 @@ class SilentReplica(EesmrReplica):
         return
 
 
+#: Behaviour name -> Byzantine replica class implementing it.
+BEHAVIOUR_CLASSES = {
+    "crash": CrashReplica,
+    "silent_leader": SilentLeaderReplica,
+    "equivocate": EquivocatingLeaderReplica,
+    "silent": SilentReplica,
+}
+
+
+def behaviour_class(behaviour: str):
+    """The Byzantine replica class implementing ``behaviour``."""
+    try:
+        return BEHAVIOUR_CLASSES[behaviour]
+    except KeyError:
+        raise ValueError(
+            f"unknown adversary behaviour {behaviour!r}; allowed: {ALLOWED_BEHAVIOURS}"
+        ) from None
+
+
+def behaviour_kwargs(plan: FaultPlan) -> dict:
+    """Constructor kwargs for the behaviour class of ``plan``."""
+    if plan.behaviour == "crash":
+        return {"crash_time": plan.crash_time}
+    if plan.behaviour in ("silent_leader", "equivocate"):
+        return {"trigger_round": plan.trigger_round}
+    return {}
+
+
 def replica_class_for(plan: FaultPlan, pid: int):
     """The replica class (and kwargs) to instantiate for ``pid`` under ``plan``."""
     if pid not in plan.faulty:
         return EesmrReplica, {}
-    if plan.behaviour == "crash":
-        return CrashReplica, {"crash_time": plan.crash_time}
-    if plan.behaviour == "silent_leader":
-        return SilentLeaderReplica, {"trigger_round": plan.trigger_round}
-    if plan.behaviour == "equivocate":
-        return EquivocatingLeaderReplica, {"trigger_round": plan.trigger_round}
-    if plan.behaviour == "silent":
-        return SilentReplica, {}
-    raise ValueError(f"unknown adversary behaviour {plan.behaviour!r}")
+    return behaviour_class(plan.behaviour), behaviour_kwargs(plan)

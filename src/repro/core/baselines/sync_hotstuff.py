@@ -339,6 +339,16 @@ class SyncHotStuffReplica(BaseReplica):
         self.blame_timer.start(8 * self.config.delta)
         if self.is_leader(self.v_cur):
             block, _ = self._highest_certified()
+            # A new leader may hold a lock above its highest certificate —
+            # with OptSync's 3n/4+1 quorum and partial vote forwarding,
+            # non-leader nodes can end a view with no certificate at all.
+            # Extending only the certified block would then fork away from
+            # every correct node's lock and no proposal would ever gather
+            # votes again (a livelock).  The leader's own lock is a block
+            # every correct node also locked (it was flooded), so extending
+            # it is safe and restores progress.
+            if self.blocks.has_ancestry(self.b_lock) and self.b_lock.height > block.height:
+                block = self.b_lock
             self.leader_chain_tip = block
             self.after(
                 2 * self.config.delta, self._propose_next, label="shs:new-view-propose"

@@ -10,9 +10,9 @@ energy, communication and protocol metrics every figure needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.core.adversary import FaultPlan, replica_class_for
+from repro.core.adversary import FaultPlan, behaviour_class, replica_class_for
 from repro.core.baselines.optsync import OptSyncReplica
 from repro.core.baselines.sync_hotstuff import SyncHotStuffReplica
 from repro.core.baselines.trusted_baseline import TrustedBaselineReplica, TrustedControlNode
@@ -32,13 +32,23 @@ from repro.net.topology import (
     star_topology,
     unicast_ring_topology,
 )
-from repro.radio.media import MediumUnicastAdapter, lte_medium
+from repro.radio.media import (
+    MediumKCastAdapter,
+    MediumUnicastAdapter,
+    lte_medium,
+    make_medium,
+)
 from repro.sim.rng import SeededRNG
 from repro.sim.scheduler import Simulator
 from repro.eval.workloads import client_for_run, commands_for_run, fill_txpools
 
 #: Names accepted by DeploymentSpec.protocol.
 PROTOCOLS = ("eesmr", "sync-hotstuff", "optsync", "trusted-baseline")
+
+#: Names accepted by DeploymentSpec.medium.  ``"ble"`` is the paper's test
+#: bed (reliable advertisement k-casts + GATT unicasts); the others price
+#: every transmission with the corresponding Table 1 medium model.
+MEDIA = ("ble", "wifi", "4g-lte")
 
 
 @dataclass
@@ -50,6 +60,7 @@ class DeploymentSpec:
     f: int = 1
     k: int = 2
     topology: str = "ring-kcast"
+    medium: str = "ble"
     hop_delay: float = 1.0
     delta: Optional[float] = None
     signature_scheme: str = "rsa-1024"
@@ -58,6 +69,12 @@ class DeploymentSpec:
     target_height: int = 5
     block_interval: float = 0.0
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Optional testkit fault schedule (``repro.testkit.faults.FaultSchedule``),
+    #: duck-typed here to keep ``eval`` importable without the testkit.  When
+    #: set it supersedes ``fault_plan``: per-node behaviours come from
+    #: :meth:`FaultSchedule.replica_behaviour` and network-level faults are
+    #: armed via :meth:`FaultSchedule.install`.
+    fault_schedule: Optional[Any] = None
     seed: int = 0
     charge_sleep: bool = False
     jitter: bool = True
@@ -65,8 +82,17 @@ class DeploymentSpec:
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
+        if self.medium not in MEDIA:
+            raise ValueError(f"unknown medium {self.medium!r}; known: {MEDIA}")
         if self.k < 1 or self.k > self.n - 1:
             raise ValueError(f"k must be in [1, n-1], got k={self.k}, n={self.n}")
+
+    @property
+    def byzantine_nodes(self) -> tuple[int, ...]:
+        """Node ids under adversary control (schedule-aware)."""
+        if self.fault_schedule is not None:
+            return tuple(self.fault_schedule.byzantine_nodes())
+        return self.fault_plan.faulty
 
 
 @dataclass
@@ -87,6 +113,9 @@ class RunResult:
     sign_operations: int
     verify_operations: int
     replica_snapshots: Dict[int, dict]
+    #: Structured per-run trace (``repro.testkit.trace.RunTrace``) when the
+    #: runner was built with a recorder; ``None`` otherwise.
+    trace: Optional[Any] = None
 
     # ------------------------------------------------------------- derived
     @property
@@ -124,10 +153,30 @@ class RunResult:
 
 
 class ProtocolRunner:
-    """Builds and executes deployments described by :class:`DeploymentSpec`."""
+    """Builds and executes deployments described by :class:`DeploymentSpec`.
 
-    def __init__(self, max_events: int = 2_000_000) -> None:
+    Args:
+        max_events: Safety valve against livelocked protocols.
+        recorder: Optional ``repro.testkit.trace.TraceRecorder``; when given,
+            the simulator's event trace is enabled and every run's
+            :class:`RunResult` carries a structured ``trace``.
+    """
+
+    def __init__(self, max_events: int = 2_000_000, recorder: Optional[Any] = None) -> None:
         self.max_events = max_events
+        self.recorder = recorder
+
+    # --------------------------------------------------------------- radios
+    def build_radios(self, spec: DeploymentSpec):
+        """The (k-cast, unicast) radio pair for the spec's medium.
+
+        ``None`` entries mean "use the network's default" — the calibrated
+        BLE advertisement k-cast and GATT unicast of the paper's test bed.
+        """
+        if spec.medium == "ble":
+            return None, None
+        medium = make_medium(spec.medium)
+        return MediumKCastAdapter(medium), MediumUnicastAdapter(medium)
 
     # ------------------------------------------------------------ topology
     def build_topology(self, spec: DeploymentSpec) -> Hypergraph:
@@ -159,15 +208,20 @@ class ProtocolRunner:
     # ----------------------------------------------------- replicated runs
     def _run_replicated(self, spec: DeploymentSpec) -> RunResult:
         sim = Simulator()
+        if self.recorder is not None:
+            self.recorder.attach(sim)
         rng = SeededRNG(spec.seed)
         topology = self.build_topology(spec)
         delta = self.compute_delta(spec, topology)
         ledger = ClusterEnergyLedger(topology.nodes)
+        kcast_radio, unicast_radio = self.build_radios(spec)
         network = SimulatedNetwork(
             sim,
             topology,
             ledger,
             rng=rng.child("network"),
+            kcast_radio=kcast_radio,
+            unicast_radio=unicast_radio,
             hop_delay=spec.hop_delay,
             jitter=spec.jitter,
         )
@@ -190,8 +244,13 @@ class ProtocolRunner:
         replicas = self._build_replicas(sim, spec, config, scheme, network, ledger, ack_router)
         for replica in replicas.values():
             network.register(replica)
-        for pid in spec.fault_plan.faulty:
-            network.set_relay_policy(pid, lambda _origin, _message: False)
+        if spec.fault_schedule is not None:
+            # The schedule arms its own network-level faults (relay drops,
+            # partitions, timed relay silence) with per-fault timing.
+            spec.fault_schedule.install(sim, network, replicas)
+        else:
+            for pid in spec.fault_plan.faulty:
+                network.set_relay_policy(pid, lambda _origin, _message: False)
 
         commands = commands_for_run(
             spec.target_height,
@@ -219,34 +278,58 @@ class ProtocolRunner:
         ledger: ClusterEnergyLedger,
         ack_router: AckRouter,
     ) -> Dict[int, object]:
+        schedule = spec.fault_schedule
         replicas: Dict[int, object] = {}
         for pid in range(spec.n):
             meter = ledger.meter(pid)
             if spec.protocol == "eesmr":
-                cls, kwargs = replica_class_for(spec.fault_plan, pid)
+                cls, kwargs = self._eesmr_class_for(spec, pid)
                 replica = cls(sim, pid, config, scheme, network, meter, ack_router, **kwargs)
             else:
                 base_cls = SyncHotStuffReplica if spec.protocol == "sync-hotstuff" else OptSyncReplica
                 replica = base_cls(sim, pid, config, scheme, network, meter, ack_router)
-                if pid in spec.fault_plan.faulty:
-                    # Baseline faults are modelled as fail-stop at the trigger time.
+                # Baseline faults are modelled as fail-stop at the trigger time.
+                if schedule is not None:
+                    failstop = schedule.failstop_time(pid)
+                    if failstop is not None:
+                        replica.after(failstop, replica.crash, label="crash")
+                elif pid in spec.fault_plan.faulty:
                     replica.after(spec.fault_plan.crash_time, replica.crash, label="crash")
             replicas[pid] = replica
         return replicas
 
+    def _eesmr_class_for(self, spec: DeploymentSpec, pid: int):
+        """The (class, kwargs) for one EESMR node under the spec's faults."""
+        if spec.fault_schedule is not None:
+            behaviour = spec.fault_schedule.replica_behaviour(pid)
+            if behaviour is None:
+                return EesmrReplica, {}
+            name, kwargs = behaviour
+            return behaviour_class(name), dict(kwargs)
+        return replica_class_for(spec.fault_plan, pid)
+
     # ----------------------------------------------- trusted baseline runs
     def _run_trusted_baseline(self, spec: DeploymentSpec) -> RunResult:
         sim = Simulator()
+        if self.recorder is not None:
+            self.recorder.attach(sim)
         rng = SeededRNG(spec.seed)
         control_id = spec.n
         topology = star_topology(spec.n + 1, center=control_id)
         ledger = ClusterEnergyLedger(topology.nodes)
+        # The paper's trusted baseline talks to its control node over LTE;
+        # "ble" (the default) keeps that, other media override the links.
+        unicast_radio = (
+            MediumUnicastAdapter(lte_medium())
+            if spec.medium == "ble"
+            else MediumUnicastAdapter(make_medium(spec.medium))
+        )
         network = SimulatedNetwork(
             sim,
             topology,
             ledger,
             rng=rng.child("network"),
-            unicast_radio=MediumUnicastAdapter(lte_medium()),
+            unicast_radio=unicast_radio,
             hop_delay=spec.hop_delay,
             jitter=spec.jitter,
         )
@@ -279,6 +362,12 @@ class ProtocolRunner:
         network.register(control)
         for replica in replicas.values():
             network.register(replica)
+        if spec.fault_schedule is not None:
+            for pid, replica in replicas.items():
+                failstop = spec.fault_schedule.failstop_time(pid)
+                if failstop is not None:
+                    replica.after(failstop, replica.crash, label="crash")
+            spec.fault_schedule.install(sim, network, replicas)
 
         commands = commands_for_run(
             spec.target_height, spec.batch_size, spec.command_payload_bytes, seed=spec.seed
@@ -304,7 +393,8 @@ class ProtocolRunner:
         replicas: Dict[int, object],
         exclude_from_energy: Optional[set[int]] = None,
     ) -> RunResult:
-        faulty = set(spec.fault_plan.faulty) | set(exclude_from_energy or ())
+        byzantine = set(spec.byzantine_nodes)
+        faulty = byzantine | set(exclude_from_energy or ())
         if spec.charge_sleep:
             for pid, meter in ledger.meters.items():
                 if pid not in faulty:
@@ -312,21 +402,21 @@ class ProtocolRunner:
         leader = config.leader_of(1)
         energy = ledger.report(leader=leader, faulty=faulty)
         logs = {pid: replica.log for pid, replica in replicas.items()}
-        checker = SafetyChecker(logs, faulty=spec.fault_plan.faulty)
+        checker = SafetyChecker(logs, faulty=byzantine)
         safety = checker.check()
         committed_heights = {pid: replica.committed_height for pid, replica in replicas.items()}
         correct_heights = [
-            height for pid, height in committed_heights.items() if pid not in spec.fault_plan.faulty
+            height for pid, height in committed_heights.items() if pid not in byzantine
         ]
         view_changes = max(
             (
                 replica.stats.view_changes_completed
                 for pid, replica in replicas.items()
-                if pid not in spec.fault_plan.faulty
+                if pid not in byzantine
             ),
             default=0,
         )
-        return RunResult(
+        result = RunResult(
             spec=spec,
             config=config,
             energy=energy,
@@ -347,6 +437,11 @@ class ProtocolRunner:
                 for pid, replica in replicas.items()
             },
         )
+        if self.recorder is not None:
+            result.trace = self.recorder.capture(
+                spec, config, sim, ledger, network, scheme, replicas, safety
+            )
+        return result
 
 
 def run_protocol(spec: DeploymentSpec) -> RunResult:

@@ -1,0 +1,327 @@
+"""The FaultSchedule DSL: timed, per-node, composable fault injection.
+
+:class:`repro.core.adversary.FaultPlan` describes one behaviour applied to
+a fixed set of nodes for a whole run.  The scenario matrix needs more:
+different nodes misbehaving in different ways, faults that switch on and
+off at chosen virtual times, and purely environmental perturbations
+(relay-drop windows, partitions) that leave the node itself correct.
+
+A :class:`FaultSchedule` is an immutable composition of fault atoms:
+
+=====================  =====================================================
+``CrashAt(p, t)``      fail-stop node ``p`` at virtual time ``t``
+``StallAt(p, r)``      leader ``p`` stops proposing at steady round ``r``
+``EquivocateAt(p, r)`` leader ``p`` proposes two conflicting blocks at ``r``
+``SilentFrom(p)``      node ``p`` never sends (it still listens and pays
+                       receive energy)
+``RelayDropWindow``    node ``p`` refuses to relay floods during
+``(p, t0, t1)``        ``[t0, t1)`` but is otherwise correct
+``PartitionWindow``    node ``p`` is disconnected (sends and receives
+``(p, t0, t1)``        nothing) during ``[t0, t1)``
+=====================  =====================================================
+
+The schedule plugs into :class:`repro.eval.runner.ProtocolRunner` through
+three hooks:
+
+* :meth:`FaultSchedule.replica_behaviour` — the Byzantine replica class to
+  substitute for a node (EESMR runs real adversary subclasses);
+* :meth:`FaultSchedule.failstop_time` — the fail-stop instant for protocols
+  that model Byzantine behaviours as crashes (the baselines, as in the
+  seed runner);
+* :meth:`FaultSchedule.install` — arms network-level faults (relay drops,
+  partitions, relay silence at crash time) on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.core.adversary import FaultPlan
+from repro.core.types import Round
+
+
+def _deny_relay(_origin: int, _message: object) -> bool:
+    return False
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault atom applied to one node."""
+
+    node: int
+
+    #: Whether the node counts as adversary-controlled (excluded from the
+    #: safety/energy accounting of correct nodes).  Environmental faults
+    #: (drops, partitions) leave the node correct but perturbed.
+    byzantine: ClassVar[bool] = True
+
+    def behaviour(self) -> Optional[Tuple[str, dict]]:
+        """(behaviour name, kwargs) for the EESMR adversary class table."""
+        return None
+
+    def failstop_time(self) -> Optional[float]:
+        """When baseline protocols should fail-stop this node."""
+        return None
+
+    def install(self, sim, network, replicas) -> None:
+        """Arm network-level effects on a built deployment."""
+
+    def describe(self) -> dict:
+        """A canonical, JSON-friendly description (used in trace fingerprints)."""
+        out = {"kind": type(self).__name__, "node": self.node}
+        for key, value in self.__dict__.items():
+            if key != "node":
+                out[key] = value
+        return out
+
+
+class ByzantineFault(Fault):
+    """Base for adversary-controlled node faults.
+
+    Matching the seed experiment runner's worst case, a Byzantine node
+    never relays floods — its relay policy is denied from t=0 regardless
+    of when its visible misbehaviour triggers.
+    """
+
+    def install(self, sim, network, replicas) -> None:
+        network.set_relay_policy(self.node, _deny_relay)
+
+
+@dataclass(frozen=True)
+class CrashAt(ByzantineFault):
+    """Fail-stop: correct until ``time``, then dark (and never relaying)."""
+
+    time: float = 0.0
+
+    def behaviour(self) -> Optional[Tuple[str, dict]]:
+        return "crash", {"crash_time": self.time}
+
+    def failstop_time(self) -> Optional[float]:
+        return self.time
+
+
+@dataclass(frozen=True)
+class StallAt(ByzantineFault):
+    """A stalling leader: proposes honestly before ``round``, never after."""
+
+    round: Round = 3
+    #: When baseline protocols (which model this as fail-stop) crash the node.
+    baseline_failstop: float = 1.0
+
+    def behaviour(self) -> Optional[Tuple[str, dict]]:
+        return "silent_leader", {"trigger_round": self.round}
+
+    def failstop_time(self) -> Optional[float]:
+        return self.baseline_failstop
+
+
+@dataclass(frozen=True)
+class EquivocateAt(ByzantineFault):
+    """An equivocating leader: two conflicting proposals at ``round``."""
+
+    round: Round = 3
+    baseline_failstop: float = 1.0
+
+    def behaviour(self) -> Optional[Tuple[str, dict]]:
+        return "equivocate", {"trigger_round": self.round}
+
+    def failstop_time(self) -> Optional[float]:
+        return self.baseline_failstop
+
+
+@dataclass(frozen=True)
+class SilentFrom(ByzantineFault):
+    """A silent Byzantine node: sends nothing, relays nothing, still listens."""
+
+    def behaviour(self) -> Optional[Tuple[str, dict]]:
+        return "silent", {}
+
+    def failstop_time(self) -> Optional[float]:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class RelayDropWindow(Fault):
+    """An otherwise-correct node that drops relays during ``[start, end)``.
+
+    This is the "silent relay" threat of the hypergraph fault bound
+    (Appendix A): the node keeps running the protocol but contributes no
+    forwarding for a while.  The node stays *correct* for safety and energy
+    accounting, but is excluded from liveness expectations while degraded.
+    """
+
+    start: float = 0.0
+    end: float = 0.0
+
+    byzantine: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+
+    def install(self, sim, network, replicas) -> None:
+        # Restore whatever policy was active before the window (another
+        # composed fault may own a permanent one) instead of clobbering it.
+        saved: list = []
+
+        def window_on() -> None:
+            saved.append(network.relay_policies.get(self.node))
+            network.set_relay_policy(self.node, _deny_relay)
+
+        def window_off() -> None:
+            previous = saved.pop() if saved else None
+            if previous is None:
+                network.relay_policies.pop(self.node, None)
+            else:
+                network.set_relay_policy(self.node, previous)
+
+        sim.schedule_at(self.start, window_on, label=f"fault:drop-on@{self.node}")
+        sim.schedule_at(self.end, window_off, label=f"fault:drop-off@{self.node}")
+
+
+@dataclass(frozen=True)
+class PartitionWindow(Fault):
+    """A node cut off from the network during ``[start, heal)``."""
+
+    start: float = 0.0
+    heal: float = 0.0
+
+    byzantine: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.heal < self.start:
+            raise ValueError(f"heal time {self.heal} before start {self.start}")
+
+    def install(self, sim, network, replicas) -> None:
+        sim.schedule_at(
+            self.start,
+            lambda: network.isolate(self.node),
+            label=f"fault:partition@{self.node}",
+        )
+        sim.schedule_at(
+            self.heal,
+            lambda: network.reconnect(self.node),
+            label=f"fault:heal@{self.node}",
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable composition of fault atoms, pluggable into the runner."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        behaviours: Dict[int, str] = {}
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"not a Fault: {fault!r}")
+            b = fault.behaviour()
+            if b is not None:
+                if fault.node in behaviours:
+                    raise ValueError(
+                        f"node {fault.node} has two Byzantine behaviours "
+                        f"({behaviours[fault.node]} and {b[0]})"
+                    )
+                behaviours[fault.node] = b[0]
+
+    # ------------------------------------------------------------ composition
+    def add(self, *faults: Fault) -> "FaultSchedule":
+        """A new schedule with additional faults."""
+        return FaultSchedule(self.faults + tuple(faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # ------------------------------------------------------------ node views
+    def byzantine_nodes(self) -> Tuple[int, ...]:
+        """Adversary-controlled node ids (sorted, unique)."""
+        return tuple(sorted({f.node for f in self.faults if f.byzantine}))
+
+    def perturbed_nodes(self) -> Tuple[int, ...]:
+        """Every node touched by any fault, Byzantine or environmental."""
+        return tuple(sorted({f.node for f in self.faults}))
+
+    # ---------------------------------------------------------- runner hooks
+    def replica_behaviour(self, pid: int) -> Optional[Tuple[str, dict]]:
+        """The EESMR adversary (behaviour, kwargs) for ``pid``, if any."""
+        for fault in self.faults:
+            if fault.node == pid:
+                b = fault.behaviour()
+                if b is not None:
+                    return b
+        return None
+
+    def failstop_time(self, pid: int) -> Optional[float]:
+        """When baseline protocols fail-stop ``pid`` (None = never)."""
+        times = [
+            fault.failstop_time()
+            for fault in self.faults
+            if fault.node == pid and fault.failstop_time() is not None
+        ]
+        return min(times) if times else None
+
+    def install(self, sim, network, replicas) -> None:
+        """Arm all network-level fault effects on a built deployment."""
+        for fault in self.faults:
+            fault.install(sim, network, replicas)
+
+    # -------------------------------------------------------------- reporting
+    def to_fault_plan(self) -> FaultPlan:
+        """A best-effort legacy view (first Byzantine behaviour wins)."""
+        for fault in self.faults:
+            b = fault.behaviour()
+            if b is not None:
+                name, kwargs = b
+                return FaultPlan(
+                    faulty=self.byzantine_nodes(),
+                    behaviour=name,
+                    trigger_round=kwargs.get("trigger_round", 3),
+                    crash_time=kwargs.get("crash_time", 0.0),
+                )
+        return FaultPlan(faulty=self.byzantine_nodes())
+
+    def describe(self) -> list:
+        """Canonical JSON-friendly description for fingerprints and reports."""
+        return [f.describe() for f in self.faults]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.faults)
+        return f"FaultSchedule(({inner}))"
+
+
+# --------------------------------------------------------------- constructors
+def no_faults() -> FaultSchedule:
+    """The empty schedule (honest run)."""
+    return FaultSchedule()
+
+
+def crash_at(node: int, time: float = 0.0) -> FaultSchedule:
+    """Fail-stop one node at a virtual time."""
+    return FaultSchedule((CrashAt(node, time),))
+
+
+def stall_at(node: int, round_number: Round = 3) -> FaultSchedule:
+    """A stalling (no-progress) leader from a steady-state round on."""
+    return FaultSchedule((StallAt(node, round_number),))
+
+
+def equivocate_at(node: int, round_number: Round = 3) -> FaultSchedule:
+    """An equivocating leader at a steady-state round."""
+    return FaultSchedule((EquivocateAt(node, round_number),))
+
+
+def silent(node: int) -> FaultSchedule:
+    """A silent Byzantine node (never sends, still listens)."""
+    return FaultSchedule((SilentFrom(node),))
+
+
+def drop_window(node: int, start: float, end: float) -> FaultSchedule:
+    """A correct node that stops relaying floods during a window."""
+    return FaultSchedule((RelayDropWindow(node, start, end),))
+
+
+def partition(node: int, start: float, heal: float) -> FaultSchedule:
+    """Disconnect a node for a window, then heal the partition."""
+    return FaultSchedule((PartitionWindow(node, start, heal),))

@@ -1,0 +1,305 @@
+"""Composable cross-protocol invariants checked against run evidence.
+
+Every scenario cell — a (protocol, fault schedule, medium, topology)
+combination — must satisfy the same five invariants, regardless of which
+protocol produced the run:
+
+* **agreement** — no fork: any two correct nodes that committed a block at
+  the same height committed the same block, and the committed command
+  sequences of correct nodes are prefix-compatible;
+* **liveness** — under synchrony every correct, unperturbed node reaches
+  the workload's target height, and everything committed came from the
+  workload;
+* **quorum certificates** — every certificate any node holds carries at
+  least f+1 distinct valid signatures;
+* **monotone virtual time** — the simulator's event trace never goes
+  backwards and ends at the reported quiescence time;
+* **energy conservation** — per-node meter totals sum to the cluster
+  ledger totals, category breakdowns are complete, and no meter is
+  negative.
+
+Invariants consume :class:`Evidence` — a bundle of the deployment spec,
+the collected :class:`~repro.eval.runner.RunResult` and the structured
+:class:`~repro.testkit.trace.RunTrace` — and raise
+:class:`InvariantViolation` with a cell-identifying message on failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class InvariantViolation(AssertionError):
+    """An invariant did not hold for a run."""
+
+
+@dataclass
+class Evidence:
+    """Everything an invariant may inspect about one run."""
+
+    spec: object
+    result: object
+    trace: object
+    #: Human-readable cell label used in violation messages.
+    label: str = ""
+
+    @property
+    def byzantine(self) -> set:
+        return set(self.spec.byzantine_nodes)
+
+    @property
+    def perturbed(self) -> set:
+        """Nodes excluded from liveness expectations (Byzantine + degraded)."""
+        nodes = set(self.byzantine)
+        if self.spec.fault_schedule is not None:
+            nodes |= set(self.spec.fault_schedule.perturbed_nodes())
+        return nodes
+
+    @property
+    def correct_nodes(self) -> List[int]:
+        return [pid for pid in sorted(self.trace.committed_heights) if pid not in self.byzantine]
+
+    @property
+    def live_nodes(self) -> List[int]:
+        perturbed = self.perturbed
+        return [pid for pid in sorted(self.trace.committed_heights) if pid not in perturbed]
+
+    def where(self) -> str:
+        return self.label or f"{self.spec.protocol}/{self.spec.medium}/{self.spec.topology}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of checking one invariant against one run."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+class Invariant:
+    """Base class: subclasses implement :meth:`check`."""
+
+    name = "invariant"
+
+    def check(self, evidence: Evidence) -> None:
+        raise NotImplementedError
+
+    def run(self, evidence: Evidence) -> InvariantReport:
+        """Check and fold the outcome into a report instead of raising."""
+        try:
+            self.check(evidence)
+        except InvariantViolation as violation:
+            return InvariantReport(self.name, False, str(violation))
+        return InvariantReport(self.name, True)
+
+    def fail(self, evidence: Evidence, message: str) -> None:
+        raise InvariantViolation(f"[{self.name} @ {evidence.where()}] {message}")
+
+
+class AgreementInvariant(Invariant):
+    """No-fork safety (Definition 2.1) recomputed from the trace."""
+
+    name = "agreement"
+
+    def check(self, evidence: Evidence) -> None:
+        if not evidence.trace.safety.get("consistent", False):
+            details = "; ".join(evidence.trace.safety.get("details", ()))
+            self.fail(evidence, f"safety checker reported a fork: {details}")
+        # Independent recomputation from the committed chains in the trace.
+        chains = {
+            pid: dict(map(tuple, evidence.trace.committed_chain[pid]))
+            for pid in evidence.correct_nodes
+        }
+        heights = sorted({h for chain in chains.values() for h in chain})
+        for height in heights:
+            blocks = {
+                pid: chain[height] for pid, chain in chains.items() if height in chain
+            }
+            if len(set(blocks.values())) > 1:
+                self.fail(
+                    evidence,
+                    f"conflicting commits at height {height}: "
+                    + ", ".join(f"{pid}:{h[:8]}" for pid, h in sorted(blocks.items())),
+                )
+        # The linearizable logs must be prefix-compatible across correct nodes.
+        sequences = [
+            evidence.trace.committed_commands[pid] for pid in evidence.correct_nodes
+        ]
+        for i, a in enumerate(sequences):
+            for b in sequences[i + 1 :]:
+                shared = min(len(a), len(b))
+                if a[:shared] != b[:shared]:
+                    self.fail(
+                        evidence,
+                        f"committed command logs diverge within the first {shared} entries",
+                    )
+
+
+class LivenessInvariant(Invariant):
+    """Every correct, unperturbed node reaches the target height."""
+
+    name = "liveness"
+
+    def __init__(self, min_height: Optional[int] = None) -> None:
+        self.min_height = min_height
+
+    def check(self, evidence: Evidence) -> None:
+        expected = (
+            self.min_height if self.min_height is not None else evidence.spec.target_height
+        )
+        for pid in evidence.live_nodes:
+            height = evidence.trace.committed_heights[pid]
+            if height < expected:
+                self.fail(
+                    evidence,
+                    f"node {pid} stalled at height {height} < target {expected}",
+                )
+        workload = _workload_command_ids(evidence.spec)
+        for pid in evidence.correct_nodes:
+            unknown = [
+                cid for cid in evidence.trace.committed_commands[pid] if cid not in workload
+            ]
+            if unknown:
+                self.fail(
+                    evidence,
+                    f"node {pid} committed commands outside the workload: {unknown[:3]}",
+                )
+
+
+class QuorumCertificateInvariant(Invariant):
+    """Every harvested certificate is valid and meets the f+1 quorum."""
+
+    name = "quorum-certificates"
+
+    def check(self, evidence: Evidence) -> None:
+        quorum = evidence.spec.f + 1
+        for qc in evidence.trace.qcs:
+            if len(set(qc.signers)) < quorum:
+                self.fail(
+                    evidence,
+                    f"node {qc.holder} holds a {qc.cert_type} QC with only "
+                    f"{len(set(qc.signers))} distinct signers (quorum {quorum})",
+                )
+            if not qc.valid:
+                self.fail(
+                    evidence,
+                    f"node {qc.holder} holds an invalid {qc.cert_type} QC "
+                    f"for view {qc.view}",
+                )
+
+
+class MonotoneVirtualTimeInvariant(Invariant):
+    """The discrete-event trace is causally ordered.
+
+    Full evidence needs ``TraceRecorder(record_events=True)`` (the
+    default).  With event recording off the trace has no event log to
+    audit, so this invariant only checks the quiescence time — the
+    property itself is still enforced at runtime, because the scheduler
+    raises :class:`~repro.sim.scheduler.SimulationError` the moment an
+    event would execute in the past.
+    """
+
+    name = "monotone-time"
+
+    def check(self, evidence: Evidence) -> None:
+        previous = 0.0
+        for time, label in evidence.trace.events:
+            if time < previous:
+                self.fail(
+                    evidence,
+                    f"event {label!r} at t={time} after t={previous} (time went backwards)",
+                )
+            previous = time
+        if evidence.trace.sim_time + 1e-12 < previous:
+            self.fail(
+                evidence,
+                f"quiescence time {evidence.trace.sim_time} precedes the last "
+                f"event at {previous}",
+            )
+
+
+class EnergyConservationInvariant(Invariant):
+    """Meter totals, ledger totals and report aggregates agree."""
+
+    name = "energy-conservation"
+
+    def check(self, evidence: Evidence) -> None:
+        per_node = evidence.trace.energy_per_node_j
+        for pid, joules in per_node.items():
+            if joules < 0:
+                self.fail(evidence, f"node {pid} has a negative meter: {joules} J")
+        total = sum(per_node.values())
+        if not math.isclose(total, evidence.trace.energy_total_j, rel_tol=1e-9, abs_tol=1e-12):
+            self.fail(
+                evidence,
+                f"per-node meters sum to {total} J but the cluster ledger "
+                f"reports {evidence.trace.energy_total_j} J",
+            )
+        breakdown_total = sum(evidence.trace.energy_breakdown_j.values())
+        if not math.isclose(breakdown_total, total, rel_tol=1e-9, abs_tol=1e-12):
+            self.fail(
+                evidence,
+                f"category breakdown sums to {breakdown_total} J, meters to {total} J",
+            )
+        report = evidence.result.energy
+        if not math.isclose(
+            sum(report.per_node_joules.values()), report.total_joules, rel_tol=1e-9, abs_tol=1e-12
+        ):
+            self.fail(evidence, "EnergyReport total disagrees with its own per-node map")
+        expected_correct = sum(
+            joules
+            for pid, joules in report.per_node_joules.items()
+            if pid not in evidence.byzantine and pid not in _energy_excluded(evidence)
+        )
+        if not math.isclose(
+            report.correct_total_joules, expected_correct, rel_tol=1e-9, abs_tol=1e-12
+        ):
+            self.fail(
+                evidence,
+                f"correct-node total {report.correct_total_joules} J != "
+                f"sum over correct meters {expected_correct} J",
+            )
+
+
+def _energy_excluded(evidence: Evidence) -> set:
+    """Nodes excluded from correct-energy totals besides Byzantine ones."""
+    if evidence.spec.protocol == "trusted-baseline":
+        # The LTE control node is infrastructure, not a replica.
+        return {evidence.spec.n}
+    return set()
+
+
+def _workload_command_ids(spec) -> set:
+    """The command ids the deterministic workload generator produced."""
+    from repro.eval.workloads import commands_for_run
+
+    commands = commands_for_run(
+        spec.target_height, spec.batch_size, spec.command_payload_bytes, seed=spec.seed
+    )
+    return {command.command_id for command in commands}
+
+
+#: The standard battery every scenario cell is checked against.
+DEFAULT_INVARIANTS: tuple = (
+    AgreementInvariant(),
+    LivenessInvariant(),
+    QuorumCertificateInvariant(),
+    MonotoneVirtualTimeInvariant(),
+    EnergyConservationInvariant(),
+)
+
+
+def check_all(
+    evidence: Evidence, invariants: Optional[Sequence[Invariant]] = None
+) -> List[InvariantReport]:
+    """Check a battery of invariants, returning one report per invariant."""
+    return [inv.run(evidence) for inv in (invariants or DEFAULT_INVARIANTS)]
+
+
+def assert_all(evidence: Evidence, invariants: Optional[Sequence[Invariant]] = None) -> None:
+    """Check a battery of invariants, raising on the first violation."""
+    for invariant in invariants or DEFAULT_INVARIANTS:
+        invariant.check(evidence)

@@ -1,0 +1,256 @@
+"""The scenario matrix: protocols × fault schedules × media × topologies.
+
+The paper's evaluation rests on three adversarial scenarios and four
+protocols, spot-checked by hand.  :class:`ScenarioMatrix` systematises
+that: it enumerates the cross-product of
+
+* protocol ∈ {eesmr, sync-hotstuff, optsync, trusted-baseline},
+* fault schedule ∈ :data:`FAULT_LIBRARY` (honest, crash-leader,
+  stall-leader, equivocate-leader, silent-relay, drop-window,
+  partition-heal),
+* medium ∈ {ble, wifi, 4g-lte},
+* topology ∈ {ring-kcast, fully-connected, ...},
+
+runs every cell deterministically through the standard experiment runner
+with a :class:`~repro.testkit.trace.TraceRecorder`, checks the full
+invariant battery (:data:`~repro.testkit.invariants.DEFAULT_INVARIANTS`)
+on every cell, and adds two differential checks:
+
+* within a cell, all correct replicas committed prefix-compatible command
+  sequences (part of the agreement invariant);
+* across protocols in the *same* fault-free (medium, topology) group, the
+  committed command sequence is identical — same workload, same log, no
+  matter which protocol ordered it.
+
+Byzantine behaviours that only exist for EESMR (equivocation, stalling)
+are modelled as fail-stop for the baseline protocols, exactly as the seed
+experiment runner does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.runner import MEDIA, PROTOCOLS, DeploymentSpec, ProtocolRunner
+from repro.testkit import faults
+from repro.testkit.invariants import (
+    DEFAULT_INVARIANTS,
+    Evidence,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.testkit.trace import TraceRecorder
+
+#: Named fault-schedule builders.  Each takes the deployment size ``n`` and
+#: returns a schedule (or ``None`` for the honest run).  Leader faults hit
+#: node 0 (the view-1 leader under the round-robin schedule); replica
+#: faults hit node n-1 (the last node, never an early leader).
+FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
+    "none": lambda n: None,
+    # t=0: with the default zero block interval the EESMR leader proposes the
+    # whole workload immediately, so only a start-time crash interrupts it.
+    "crash-leader": lambda n: faults.crash_at(0, time=0.0),
+    "stall-leader": lambda n: faults.stall_at(0, round_number=4),
+    "equivocate-leader": lambda n: faults.equivocate_at(0, round_number=4),
+    "silent-relay": lambda n: faults.silent(n - 1),
+    "drop-window": lambda n: faults.drop_window(n - 1, start=1.0, end=8.0),
+    "partition-heal": lambda n: faults.partition(n - 1, start=2.0, heal=10.0),
+}
+
+#: The default fault slice: every protocol supports these (Byzantine leader
+#: behaviours degrade to fail-stop for the baselines), giving the canonical
+#: 4 protocols × 3 faults × 3 media = 36-cell matrix.
+DEFAULT_FAULTS = ("none", "crash-leader", "equivocate-leader")
+
+#: The extended slice adds the remaining library entries for a full sweep.
+ALL_FAULTS = tuple(FAULT_LIBRARY)
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One point of the scenario cross-product."""
+
+    protocol: str
+    fault: str
+    medium: str
+    topology: str = "ring-kcast"
+
+    def label(self) -> str:
+        return f"{self.protocol}×{self.fault}×{self.medium}×{self.topology}"
+
+
+@dataclass
+class CellOutcome:
+    """The evidence and verdicts collected from one cell."""
+
+    cell: ScenarioCell
+    spec: DeploymentSpec
+    result: object
+    evidence: Evidence
+    reports: List[InvariantReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    def violations(self) -> List[InvariantReport]:
+        return [report for report in self.reports if not report.ok]
+
+
+@dataclass
+class MatrixReport:
+    """Aggregate verdict over a matrix sweep."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    differential_failures: List[str] = field(default_factory=list)
+
+    @property
+    def cells_run(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return not self.differential_failures and all(o.ok for o in self.outcomes)
+
+    def failures(self) -> List[str]:
+        out = [
+            f"{outcome.cell.label()}: {report.detail}"
+            for outcome in self.outcomes
+            for report in outcome.violations()
+        ]
+        out.extend(self.differential_failures)
+        return out
+
+    def assert_clean(self) -> None:
+        if not self.ok:
+            raise InvariantViolation(
+                f"{len(self.failures())} scenario-matrix failures:\n  "
+                + "\n  ".join(self.failures())
+            )
+
+
+class ScenarioMatrix:
+    """Enumerates and runs the scenario cross-product with invariant checks."""
+
+    def __init__(
+        self,
+        protocols: Sequence[str] = PROTOCOLS,
+        fault_names: Sequence[str] = DEFAULT_FAULTS,
+        media: Sequence[str] = MEDIA,
+        topologies: Sequence[str] = ("ring-kcast",),
+        n: int = 5,
+        f: int = 1,
+        k: int = 2,
+        target_height: int = 3,
+        seed: int = 29,
+        invariants: Optional[Sequence] = None,
+        record_events: bool = True,
+        max_events: int = 2_000_000,
+    ) -> None:
+        unknown = [name for name in fault_names if name not in FAULT_LIBRARY]
+        if unknown:
+            raise ValueError(f"unknown fault schedules {unknown}; known: {sorted(FAULT_LIBRARY)}")
+        self.protocols = tuple(protocols)
+        self.fault_names = tuple(fault_names)
+        self.media = tuple(media)
+        self.topologies = tuple(topologies)
+        self.n = n
+        self.f = f
+        self.k = k
+        self.target_height = target_height
+        self.seed = seed
+        self.invariants = tuple(invariants if invariants is not None else DEFAULT_INVARIANTS)
+        self.record_events = record_events
+        self.max_events = max_events
+
+    # ------------------------------------------------------------ enumeration
+    def cells(self) -> List[ScenarioCell]:
+        """Every cell of the configured cross-product."""
+        return [
+            ScenarioCell(protocol, fault, medium, topology)
+            for protocol in self.protocols
+            for fault in self.fault_names
+            for medium in self.media
+            for topology in self.topologies
+        ]
+
+    def build_spec(self, cell: ScenarioCell) -> DeploymentSpec:
+        """The deterministic deployment spec for one cell."""
+        return DeploymentSpec(
+            protocol=cell.protocol,
+            n=self.n,
+            f=self.f,
+            k=self.k,
+            topology=cell.topology,
+            medium=cell.medium,
+            target_height=self.target_height,
+            seed=self.seed,
+            fault_schedule=FAULT_LIBRARY[cell.fault](self.n),
+        )
+
+    # ---------------------------------------------------------------- running
+    def run_cell(self, cell: ScenarioCell) -> CellOutcome:
+        """Run one cell and check every invariant against its evidence."""
+        spec = self.build_spec(cell)
+        runner = ProtocolRunner(
+            max_events=self.max_events, recorder=TraceRecorder(self.record_events)
+        )
+        result = runner.run(spec)
+        evidence = Evidence(spec=spec, result=result, trace=result.trace, label=cell.label())
+        outcome = CellOutcome(cell=cell, spec=spec, result=result, evidence=evidence)
+        outcome.reports = [invariant.run(evidence) for invariant in self.invariants]
+        return outcome
+
+    def run(self) -> MatrixReport:
+        """Run every cell, then apply the cross-protocol differential checks."""
+        report = MatrixReport()
+        for cell in self.cells():
+            report.outcomes.append(self.run_cell(cell))
+        report.differential_failures = self._differential_check(report.outcomes)
+        return report
+
+    # ----------------------------------------------------------- differential
+    def _differential_check(self, outcomes: List[CellOutcome]) -> List[str]:
+        """Same workload ⇒ same committed command sequence across protocols.
+
+        Applied to fault-free groups: protocols recover from faults along
+        different paths (dropping different in-flight blocks), but with no
+        adversary every protocol must linearise the identical workload into
+        the identical log.
+        """
+        failures: List[str] = []
+        groups: Dict[Tuple[str, str, str], List[CellOutcome]] = {}
+        for outcome in outcomes:
+            if outcome.cell.fault != "none":
+                continue
+            key = (outcome.cell.fault, outcome.cell.medium, outcome.cell.topology)
+            groups.setdefault(key, []).append(outcome)
+        for key, group in sorted(groups.items()):
+            reference: Optional[Tuple[CellOutcome, List[str]]] = None
+            for outcome in group:
+                correct = outcome.evidence.correct_nodes
+                if not correct:
+                    continue
+                sequence = outcome.evidence.trace.committed_commands[correct[0]]
+                if reference is None:
+                    reference = (outcome, sequence)
+                    continue
+                ref_outcome, ref_sequence = reference
+                if sequence != ref_sequence:
+                    failures.append(
+                        f"differential: {outcome.cell.label()} committed {sequence} "
+                        f"but {ref_outcome.cell.label()} committed {ref_sequence}"
+                    )
+        return failures
+
+
+def run_default_matrix(**overrides) -> MatrixReport:
+    """Run the canonical 36-cell matrix (4 protocols × 3 faults × 3 media)."""
+    return ScenarioMatrix(**overrides).run()
+
+
+def run_full_matrix(**overrides) -> MatrixReport:
+    """Run the extended sweep over every fault schedule in the library."""
+    overrides.setdefault("fault_names", ALL_FAULTS)
+    return ScenarioMatrix(**overrides).run()

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.core.adversary import (
+    ALLOWED_BEHAVIOURS,
+    BEHAVIOUR_CLASSES,
     CrashReplica,
     EquivocatingLeaderReplica,
     FaultPlan,
     SilentLeaderReplica,
     SilentReplica,
+    behaviour_class,
     replica_class_for,
 )
 from repro.core.eesmr.replica import EesmrReplica
@@ -53,3 +56,27 @@ def test_replica_class_for_silent():
 def test_unknown_behaviour_raises():
     with pytest.raises(ValueError):
         replica_class_for(FaultPlan(faulty=(1,), behaviour="teleport"), pid=1)
+
+
+def test_misspelled_behaviour_rejected_at_construction():
+    """A typo must fail loudly instead of silently running an honest node."""
+    with pytest.raises(ValueError, match="unknown adversary behaviour 'equivocat'"):
+        FaultPlan(faulty=(0,), behaviour="equivocat")
+
+
+def test_every_allowed_behaviour_constructs():
+    for behaviour in ALLOWED_BEHAVIOURS:
+        plan = FaultPlan(faulty=(1,), behaviour=behaviour)
+        cls, _ = replica_class_for(plan, pid=1)
+        assert cls is BEHAVIOUR_CLASSES[behaviour]
+
+
+def test_behaviour_class_lookup_matches_allowed_set():
+    assert set(ALLOWED_BEHAVIOURS) == set(BEHAVIOUR_CLASSES)
+    with pytest.raises(ValueError):
+        behaviour_class("gremlin")
+
+
+def test_negative_crash_time_rejected():
+    with pytest.raises(ValueError, match="crash_time"):
+        FaultPlan(faulty=(0,), crash_time=-1.0)

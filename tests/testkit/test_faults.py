@@ -1,0 +1,148 @@
+"""Unit tests for the FaultSchedule DSL."""
+
+import pytest
+
+from repro.core.adversary import FaultPlan
+from repro.testkit.faults import (
+    CrashAt,
+    EquivocateAt,
+    FaultSchedule,
+    PartitionWindow,
+    RelayDropWindow,
+    SilentFrom,
+    StallAt,
+    crash_at,
+    drop_window,
+    equivocate_at,
+    no_faults,
+    partition,
+    silent,
+    stall_at,
+)
+
+from tests.conftest import make_network
+
+
+def test_empty_schedule():
+    schedule = no_faults()
+    assert len(schedule) == 0
+    assert schedule.byzantine_nodes() == ()
+    assert schedule.perturbed_nodes() == ()
+    assert schedule.replica_behaviour(0) is None
+    assert schedule.failstop_time(0) is None
+
+
+def test_crash_at_maps_to_crash_behaviour():
+    schedule = crash_at(2, time=5.0)
+    assert schedule.byzantine_nodes() == (2,)
+    assert schedule.replica_behaviour(2) == ("crash", {"crash_time": 5.0})
+    assert schedule.replica_behaviour(1) is None
+    assert schedule.failstop_time(2) == 5.0
+
+
+def test_stall_and_equivocate_carry_trigger_round():
+    assert stall_at(0, round_number=6).replica_behaviour(0) == (
+        "silent_leader",
+        {"trigger_round": 6},
+    )
+    assert equivocate_at(0, round_number=4).replica_behaviour(0) == (
+        "equivocate",
+        {"trigger_round": 4},
+    )
+
+
+def test_silent_fails_stop_baselines_immediately():
+    schedule = silent(3)
+    assert schedule.replica_behaviour(3) == ("silent", {})
+    assert schedule.failstop_time(3) == 0.0
+
+
+def test_environmental_faults_are_not_byzantine():
+    schedule = drop_window(1, start=1.0, end=2.0).add(PartitionWindow(2, 0.0, 3.0))
+    assert schedule.byzantine_nodes() == ()
+    assert schedule.perturbed_nodes() == (1, 2)
+    assert schedule.replica_behaviour(1) is None
+    assert schedule.failstop_time(1) is None
+
+
+def test_composition_preserves_all_faults():
+    schedule = crash_at(0, 1.0).add(SilentFrom(4), RelayDropWindow(2, 0.0, 5.0))
+    assert schedule.byzantine_nodes() == (0, 4)
+    assert schedule.perturbed_nodes() == (0, 2, 4)
+    assert len(schedule) == 3
+
+
+def test_two_byzantine_behaviours_on_one_node_rejected():
+    with pytest.raises(ValueError):
+        FaultSchedule((CrashAt(1, 0.0), SilentFrom(1)))
+
+
+def test_invalid_windows_rejected():
+    with pytest.raises(ValueError):
+        RelayDropWindow(0, start=5.0, end=1.0)
+    with pytest.raises(ValueError):
+        PartitionWindow(0, start=5.0, heal=1.0)
+
+
+def test_non_fault_member_rejected():
+    with pytest.raises(TypeError):
+        FaultSchedule(("crash",))
+
+
+def test_to_fault_plan_round_trip():
+    plan = equivocate_at(0, round_number=5).to_fault_plan()
+    assert plan == FaultPlan(faulty=(0,), behaviour="equivocate", trigger_round=5)
+    assert no_faults().to_fault_plan() == FaultPlan()
+
+
+def test_describe_is_deterministic_and_json_friendly():
+    import json
+
+    schedule = crash_at(0, 1.5).add(RelayDropWindow(3, 2.0, 4.0))
+    description = schedule.describe()
+    assert description == schedule.describe()
+    assert json.dumps(description)  # serialisable
+    assert description[0]["kind"] == "CrashAt"
+    assert description[1] == {"kind": "RelayDropWindow", "node": 3, "start": 2.0, "end": 4.0}
+
+
+def test_drop_window_toggles_relay_policy():
+    sim, topology, ledger, network = make_network()
+    schedule = drop_window(2, start=1.0, end=3.0)
+    schedule.install(sim, network, {})
+    assert 2 not in network.relay_policies
+    sim.run(until=1.5)
+    assert 2 in network.relay_policies
+    assert network.relay_policies[2](0, "message") is False
+    sim.run(until=3.5)
+    assert 2 not in network.relay_policies
+
+
+def test_partition_window_isolates_and_heals():
+    sim, topology, ledger, network = make_network()
+    schedule = partition(1, start=0.5, heal=2.0)
+    schedule.install(sim, network, {})
+    sim.run(until=1.0)
+    assert 1 in network._partition
+    sim.run(until=2.5)
+    assert 1 not in network._partition
+
+
+def test_byzantine_faults_never_relay():
+    """As in the seed runner's worst case, a Byzantine node's relay policy
+    is denied from t=0 even if its misbehaviour triggers later."""
+    sim, topology, ledger, network = make_network()
+    crash_at(0, time=2.0).add(SilentFrom(3)).install(sim, network, {})
+    assert network.relay_policies[0](1, "message") is False
+    assert network.relay_policies[3](1, "message") is False
+
+
+def test_drop_window_restores_a_composed_permanent_policy():
+    """A drop window on a node that already has a deny policy (from a
+    composed Byzantine fault) must not clobber it when the window closes."""
+    sim, topology, ledger, network = make_network()
+    schedule = FaultSchedule((CrashAt(2, time=0.0), RelayDropWindow(2, 1.0, 3.0)))
+    schedule.install(sim, network, {})
+    sim.run(until=5.0)
+    assert 2 in network.relay_policies
+    assert network.relay_policies[2](0, "message") is False

@@ -1,0 +1,118 @@
+"""Scenario-matrix tests.
+
+The tier-1 (fast) tests check the enumeration, a representative slice of
+cells, and the differential machinery.  The exhaustive sweeps — every
+protocol × every fault schedule × every medium — run under the ``matrix``
+marker (``make test-matrix`` / ``pytest -m matrix``).
+"""
+
+import pytest
+
+from repro.eval.runner import MEDIA, PROTOCOLS
+from repro.testkit.scenarios import (
+    ALL_FAULTS,
+    DEFAULT_FAULTS,
+    FAULT_LIBRARY,
+    MatrixReport,
+    ScenarioCell,
+    ScenarioMatrix,
+)
+from repro.testkit.invariants import InvariantViolation
+
+
+def test_default_matrix_covers_at_least_36_cells():
+    cells = ScenarioMatrix().cells()
+    assert len(cells) >= 36
+    combos = {(c.protocol, c.fault, c.medium) for c in cells}
+    assert len(combos) == len(cells), "cells must be distinct (protocol, fault, medium) points"
+    assert {c.protocol for c in cells} == set(PROTOCOLS)
+    assert {c.medium for c in cells} == set(MEDIA)
+    assert {c.fault for c in cells} == set(DEFAULT_FAULTS)
+
+
+def test_fault_library_has_the_papers_scenarios_and_more():
+    assert {"none", "crash-leader", "stall-leader", "equivocate-leader", "silent-relay"} <= set(
+        FAULT_LIBRARY
+    )
+    assert len(ALL_FAULTS) >= 7
+
+
+def test_unknown_fault_name_rejected():
+    with pytest.raises(ValueError, match="unknown fault schedules"):
+        ScenarioMatrix(fault_names=("none", "gremlins"))
+
+
+def test_representative_cells_pass_all_invariants():
+    """A cheap slice touching every protocol, a Byzantine fault and a
+    non-BLE medium, kept fast enough for tier-1."""
+    matrix = ScenarioMatrix()
+    for cell in (
+        ScenarioCell("eesmr", "equivocate-leader", "ble"),
+        ScenarioCell("sync-hotstuff", "crash-leader", "wifi"),
+        ScenarioCell("optsync", "crash-leader", "4g-lte"),
+        ScenarioCell("trusted-baseline", "none", "ble"),
+    ):
+        outcome = matrix.run_cell(cell)
+        assert outcome.ok, f"{cell.label()}: {[r.detail for r in outcome.violations()]}"
+        assert len(outcome.reports) == 5
+
+
+def test_cells_are_deterministic_per_seed():
+    matrix = ScenarioMatrix()
+    cell = ScenarioCell("eesmr", "crash-leader", "ble")
+    first = matrix.run_cell(cell)
+    second = matrix.run_cell(cell)
+    assert first.evidence.trace.fingerprint() == second.evidence.trace.fingerprint()
+
+
+def test_differential_check_flags_divergent_logs():
+    matrix = ScenarioMatrix()
+    outcomes = [
+        matrix.run_cell(ScenarioCell("eesmr", "none", "ble")),
+        matrix.run_cell(ScenarioCell("sync-hotstuff", "none", "ble")),
+    ]
+    assert matrix._differential_check(outcomes) == []
+    # Tamper with one protocol's committed log: the checker must object.
+    log = outcomes[1].evidence.trace.committed_commands
+    for pid in log:
+        log[pid] = ["tampered-command"] + log[pid][1:]
+    failures = matrix._differential_check(outcomes)
+    assert failures and "differential" in failures[0]
+
+
+def test_matrix_report_assert_clean_raises_with_cell_labels():
+    report = MatrixReport()
+    report.differential_failures = ["differential: something diverged"]
+    with pytest.raises(InvariantViolation, match="scenario-matrix failures"):
+        report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_full_default_matrix_36_cells():
+    """The canonical 4 protocols × 3 faults × 3 media sweep."""
+    report = ScenarioMatrix().run()
+    assert report.cells_run == 36
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_extended_matrix_every_fault_in_the_library():
+    report = ScenarioMatrix(fault_names=ALL_FAULTS).run()
+    assert report.cells_run == len(PROTOCOLS) * len(ALL_FAULTS) * len(MEDIA)
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_matrix_on_fully_connected_topology():
+    report = ScenarioMatrix(topologies=("fully-connected",), k=4).run()
+    assert report.cells_run == 36
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+@pytest.mark.slow
+def test_matrix_at_larger_scale():
+    """n=7, f=2 — a second operating point of the feasibility analysis."""
+    report = ScenarioMatrix(n=7, f=2, k=3, seed=41).run()
+    assert report.cells_run == 36
+    report.assert_clean()

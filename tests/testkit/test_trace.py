@@ -1,0 +1,87 @@
+"""Tests for the TraceRecorder and RunTrace value object."""
+
+import json
+
+import pytest
+
+from repro.eval.runner import DeploymentSpec, ProtocolRunner
+from repro.testkit.trace import TraceRecorder, spec_fingerprint
+from repro.testkit.faults import crash_at
+
+from tests.conftest import honest_spec
+
+
+def record(spec, record_events=True):
+    runner = ProtocolRunner(recorder=TraceRecorder(record_events=record_events))
+    return runner.run(spec)
+
+
+def test_runner_without_recorder_has_no_trace(runner):
+    result = runner.run(honest_spec())
+    assert result.trace is None
+
+
+def test_trace_captures_committed_logs_and_energy():
+    result = record(honest_spec())
+    trace = result.trace
+    assert set(trace.committed_heights) == {0, 1, 2, 3, 4}
+    for pid in range(5):
+        assert trace.committed_heights[pid] == 3
+        assert len(trace.committed_chain[pid]) == 3
+        assert trace.committed_chain[pid][0][0] == 1  # first entry is height 1
+        assert len(trace.committed_commands[pid]) == 3
+    assert trace.energy_total_j == pytest.approx(sum(trace.energy_per_node_j.values()))
+    assert trace.energy_total_j > 0
+    assert trace.network["broadcasts"] > 0
+    assert trace.safety["consistent"] is True
+
+
+def test_trace_records_simulator_events():
+    result = record(honest_spec())
+    trace = result.trace
+    assert trace.events, "event trace should be populated"
+    assert trace.executed_events == len(trace.events)
+    times = [time for time, _ in trace.events]
+    assert times == sorted(times)
+    assert any("net:" in label for _, label in trace.events)
+
+
+def test_record_events_false_skips_event_log():
+    result = record(honest_spec(), record_events=False)
+    assert result.trace.events == []
+    assert result.trace.executed_events > 0
+
+
+def test_trace_harvests_view_change_certificates():
+    spec = honest_spec(fault_schedule=crash_at(0, time=0.0))
+    result = record(spec)
+    assert result.view_changes == 1
+    assert result.trace.qcs, "a view change must leave quorum certificates behind"
+    quorum = spec.f + 1
+    for qc in result.trace.qcs:
+        assert qc.valid
+        assert len(set(qc.signers)) >= quorum
+
+
+def test_canonical_json_is_valid_and_sorted():
+    trace = record(honest_spec()).trace
+    encoded = trace.canonical_json()
+    decoded = json.loads(encoded)
+    assert decoded["spec"]["protocol"] == "eesmr"
+    assert encoded == json.dumps(decoded, sort_keys=True, separators=(",", ":"))
+
+
+def test_fingerprint_reflects_content():
+    trace = record(honest_spec()).trace
+    fingerprint = trace.fingerprint()
+    trace.energy_total_j += 1.0
+    assert trace.fingerprint() != fingerprint
+
+
+def test_spec_fingerprint_includes_faults_and_medium():
+    spec = honest_spec(medium="wifi", fault_schedule=crash_at(1, time=2.0))
+    description = spec_fingerprint(spec)
+    assert description["medium"] == "wifi"
+    assert description["faults"] == [{"kind": "CrashAt", "node": 1, "time": 2.0}]
+    legacy = spec_fingerprint(honest_spec())
+    assert legacy["faults"]["faulty"] == []
