@@ -1,15 +1,19 @@
-# Test entry points.
+# Test and benchmark entry points.
 #
 #   make test-fast    tier-1: everything except the opt-in sweeps (~15s)
 #   make test-matrix  the exhaustive scenario-matrix sweeps (+ slow cells)
 #   make test-all     both of the above
+#   make bench        full hot-path benchmark suite -> BENCH_hotpath.json
+#                     (exits non-zero if a speedup gate regresses)
+#   make bench-smoke  quick end-to-end check of the benchmark harness
 #
 # The default pytest run (pytest.ini addopts) equals test-fast; the matrix
 # sweeps are the opt-in CI job every scale/perf PR should also run.
 
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
+PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all
+.PHONY: test-fast test-matrix test-all bench bench-smoke
 
 test-fast:
 	$(PYTEST) -x -q
@@ -18,3 +22,9 @@ test-matrix:
 	$(PYTEST) -q -m "matrix or slow" tests/testkit
 
 test-all: test-fast test-matrix
+
+bench:
+	$(PYTHON) -m repro.perf
+
+bench-smoke:
+	$(PYTEST) -q -m bench tests/perf

@@ -130,7 +130,7 @@ class TrustedBaselineReplica(BaseReplica):
     def _upload_pending(self) -> None:
         """Send pending commands to the trusted node over the expensive medium."""
         commands = self.txpool.peek_batch(self.config.batch_size)
-        request = self.sign_message(MessageType.TB_REQUEST, list(commands), view=1)
+        request = self.sign_message(MessageType.TB_REQUEST, tuple(commands), view=1)
         self.send(self.control_node_id, request)
 
     def on_message(self, sender: int, message: Any) -> None:

@@ -11,6 +11,7 @@ view-change certificate logic both rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.types import Batch, Command, NodeId, Round, View
@@ -35,13 +36,10 @@ class Block:
         if self.height < 0:
             raise ValueError("height cannot be negative")
 
-    @property
+    @cached_property
     def block_hash(self) -> str:
         """Deterministic content hash (cached per instance)."""
-        cached = _HASH_CACHE.get(id(self))
-        if cached is not None and cached[0] is self:
-            return cached[1]
-        digest = sha256_hex(
+        return sha256_hex(
             {
                 "parent": self.parent_hash,
                 "height": self.height,
@@ -51,10 +49,8 @@ class Block:
                 "commands": list(self.batch.command_ids),
             }
         )
-        _HASH_CACHE[id(self)] = (self, digest)
-        return digest
 
-    @property
+    @cached_property
     def wire_size_bytes(self) -> int:
         """Bytes of the block on the wire: header + parent hash + payload."""
         header = 4 + 4 + 4 + 4  # height, view, round, proposer
@@ -68,9 +64,6 @@ class Block:
         """First 10 hex chars of the block hash (for logs and test messages)."""
         return self.block_hash[:10]
 
-
-# A tiny identity-keyed cache so repeated block_hash calls do not re-serialize.
-_HASH_CACHE: Dict[int, tuple] = {}
 
 
 def make_genesis() -> Block:
@@ -114,6 +107,10 @@ class BlockStore:
     def __init__(self, genesis: Optional[Block] = None) -> None:
         self.genesis = genesis or GENESIS
         self._blocks: Dict[str, Block] = {self.genesis.block_hash: self.genesis}
+        # Hashes known to have a complete ancestry down to genesis, so
+        # repeated has_ancestry checks on a growing chain are amortized
+        # O(1) instead of a fresh walk to genesis every time.
+        self._rooted: set[str] = {self.genesis.block_hash}
 
     def __contains__(self, block_hash: str) -> bool:
         return block_hash in self._blocks
@@ -125,18 +122,38 @@ class BlockStore:
         """Store a block (idempotent)."""
         self._blocks[block.block_hash] = block
 
+    def add_if_absent(self, block: Block) -> bool:
+        """Store a block unless present; returns whether it was new.
+
+        One hash fetch instead of the contains-then-add double lookup on
+        the proposal hot path.
+        """
+        block_hash = block.block_hash
+        if block_hash in self._blocks:
+            return False
+        self._blocks[block_hash] = block
+        return True
+
     def get(self, block_hash: str) -> Optional[Block]:
         """Retrieve a block by hash, or ``None`` when unknown."""
         return self._blocks.get(block_hash)
 
     def has_ancestry(self, block: Block) -> bool:
         """Whether every ancestor of ``block`` down to genesis is known."""
+        rooted = self._rooted
+        walked = []
         current = block
-        while not current.is_genesis:
+        while True:
+            if current.block_hash in rooted:
+                break
+            if current.is_genesis:
+                break
+            walked.append(current.block_hash)
             parent = self._blocks.get(current.parent_hash)
             if parent is None:
                 return False
             current = parent
+        rooted.update(walked)
         return True
 
     def iter_ancestors(self, block: Block) -> Iterator[Block]:

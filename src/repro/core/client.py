@@ -19,7 +19,7 @@ from repro.core.types import Command
 from repro.sim.rng import SeededRNG
 
 
-@dataclass
+@dataclass(slots=True)
 class Acknowledgement:
     """A replica's notification that a command committed at a log position."""
 
@@ -90,9 +90,13 @@ class Client:
         """Record an acknowledgement; returns ``True`` when the command is newly accepted."""
         if ack.command_id in self.accepted:
             return False
-        per_position = self._acks.setdefault(ack.command_id, {})
+        per_position = self._acks.get(ack.command_id)
+        if per_position is None:
+            per_position = self._acks[ack.command_id] = {}
         key = (ack.height, ack.block_hash)
-        replicas = per_position.setdefault(key, set())
+        replicas = per_position.get(key)
+        if replicas is None:
+            replicas = per_position[key] = set()
         replicas.add(ack.replica)
         if len(replicas) >= self.f + 1:
             self.accepted[ack.command_id] = key

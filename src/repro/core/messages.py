@@ -15,15 +15,55 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 from typing import Any, Optional, Tuple
 
 from repro.core.blocks import Block
 from repro.core.types import NodeId, Round, View
-from repro.crypto.hashing import sha256_hex
+from repro.crypto.hashing import is_deeply_immutable, sha256_hex
 from repro.crypto.signatures import Signature, SignatureScheme
 
 #: Fixed per-message header bytes (type, view, round, sender).
 MESSAGE_HEADER_BYTES = 16
+
+#: Flyweight switch: when ``False`` the per-instance digest / wire-size
+#: memos below recompute on every access (the ``repro.perf`` legacy mode
+#: uses this to measure the seed's per-hop serialization cost).
+_FLYWEIGHT_ENABLED = True
+
+
+def set_flyweight_enabled(enabled: bool) -> None:
+    """Toggle per-message memoization (perf harness / tests only)."""
+    global _FLYWEIGHT_ENABLED
+    _FLYWEIGHT_ENABLED = enabled
+
+
+def flyweight_enabled() -> bool:
+    """Whether per-message memoization is currently on."""
+    return _FLYWEIGHT_ENABLED
+
+
+class _frozen_memo:
+    """A ``cached_property`` for frozen messages that honours the flyweight switch.
+
+    Safe only on immutable (frozen dataclass) owners: the memoized value is
+    a pure function of construction-time fields.
+    """
+
+    def __init__(self, func):
+        self._func = func
+        self._slot = f"_memo_{func.__name__}"
+        self.__doc__ = func.__doc__
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        if not _FLYWEIGHT_ENABLED:
+            return self._func(obj)
+        d = obj.__dict__
+        if self._slot not in d:
+            d[self._slot] = self._func(obj)  # frozen dataclasses allow direct __dict__ writes
+        return d[self._slot]
 
 
 class MessageType(str, Enum):
@@ -95,19 +135,61 @@ class ProtocolMessage:
     view_sig: Optional[Signature] = None
     data_sig: Optional[Signature] = None
 
+    @cached_property
+    def _data_immutable(self) -> bool:
+        """Whether ``data`` can never change (stable per message).
+
+        The flyweight memos below are only sound for messages whose payload
+        is deeply immutable — a list payload mutated in place must see its
+        digest, wire size and verification verdict recomputed, exactly as
+        the seed recomputed them on every access.
+        """
+        return is_deeply_immutable(self.data)
+
     @property
     def data_digest(self) -> str:
         """Digest of the payload used for signing and vote matching."""
-        return message_data_digest(self.data)
+        if _FLYWEIGHT_ENABLED:
+            cached = self.__dict__.get("_memo_data_digest")
+            if cached is not None:
+                return cached
+        digest = message_data_digest(self.data)
+        if _FLYWEIGHT_ENABLED and self._data_immutable:
+            self.__dict__["_memo_data_digest"] = digest
+        return digest
 
     @property
     def wire_size_bytes(self) -> int:
         """Bytes on the wire: header + payload + signatures."""
+        if _FLYWEIGHT_ENABLED:
+            cached = self.__dict__.get("_memo_wire_size")
+            if cached is not None:
+                return cached
         size = MESSAGE_HEADER_BYTES + payload_wire_size(self.data)
         for signature in (self.view_sig, self.data_sig):
             if signature is not None:
                 size += signature.size_bytes
+        if _FLYWEIGHT_ENABLED and self._data_immutable:
+            self.__dict__["_memo_wire_size"] = size
         return size
+
+    def precompute(self) -> "ProtocolMessage":
+        """Warm every per-message flyweight before the message hits the wire.
+
+        Touches the digest and wire-size memos so the O(n·d) hops of a flood
+        and the n verifications all reuse one computation.  Raw application
+        payloads without a ``wire_size_bytes`` attribute are instead sized
+        through :data:`~repro.crypto.hashing.canonical_cache` by the network
+        layer, which memoizes them on first touch.
+
+        A no-op when the flyweight is disabled: warming nothing is work
+        the seed never did, and the legacy-mode benchmark baseline must
+        not pay for it.
+        """
+        if _FLYWEIGHT_ENABLED:
+            self.data_digest
+            self.wire_size_bytes
+        return self
 
     def matches(self, msg_type: MessageType, view: View) -> bool:
         """The ``MatchingMsg`` helper of Algorithm 1."""
@@ -146,22 +228,38 @@ def make_message(
         data=data,
         view_sig=view_sig,
         data_sig=data_sig,
-    )
+    ).precompute()
 
 
 def verify_message(scheme: SignatureScheme, verifier: NodeId, message: ProtocolMessage) -> bool:
-    """Verify both signatures of a protocol message."""
+    """Verify both signatures of a protocol message.
+
+    The outcome is verifier-independent, so it is memoized per (message,
+    scheme): after the first replica checks a flooded message, the other
+    n-1 replicas reuse the verdict.  Their per-verifier operation counts
+    (Table 3) are still recorded via :meth:`SignatureScheme.note_verify`,
+    and verification *energy* is charged by the replica layer either way —
+    only the redundant HMAC work is skipped.
+    """
     if message.view_sig is None or message.data_sig is None:
         return False
     if message.view_sig.signer != message.sender or message.data_sig.signer != message.sender:
         return False
+    if _FLYWEIGHT_ENABLED:
+        memo = message.__dict__.get("_verified_by")
+        if memo is not None and memo[0] is scheme:
+            scheme.note_verify(verifier, 2)
+            return memo[1]
     view_ok = scheme.verify(
         verifier, ("view", message.msg_type.value, message.view), message.view_sig
     )
     data_ok = scheme.verify(
         verifier, ("data", message.data_digest, message.view), message.data_sig
     )
-    return view_ok and data_ok
+    result = view_ok and data_ok
+    if _FLYWEIGHT_ENABLED and message._data_immutable:
+        message.__dict__["_verified_by"] = (scheme, result)
+    return result
 
 
 @dataclass(frozen=True)
@@ -175,7 +273,7 @@ class QuorumCertificate:
     signatures: Tuple[Signature, ...] = field(default_factory=tuple)
     block: Optional[Block] = None
 
-    @property
+    @_frozen_memo
     def wire_size_bytes(self) -> int:
         """Bytes of the certificate: digest + all contained signatures."""
         signature_bytes = sum(sig.size_bytes for sig in self.signatures)
@@ -247,6 +345,37 @@ def make_view_qc(messages: list[ProtocolMessage]) -> QuorumCertificate:
     )
 
 
+def _memoized_valid_count(
+    scheme: SignatureScheme,
+    verifier: NodeId,
+    qc: "QuorumCertificate",
+    slot: str,
+    payload: Tuple[Any, ...],
+) -> Optional[int]:
+    """Count valid signatures on a QC, memoized per (certificate, scheme).
+
+    Returns ``None`` when a signature's declared signer does not match the
+    certificate's signer list (the caller must reject the QC outright; that
+    adversarial shape is never memoized).  Replicas after the first reuse
+    the count but still book their verification operations via
+    :meth:`SignatureScheme.note_verify`.
+    """
+    if _FLYWEIGHT_ENABLED:
+        memo = qc.__dict__.get(slot)
+        if memo is not None and memo[0] is scheme:
+            scheme.note_verify(verifier, len(qc.signatures))
+            return memo[1]
+    valid = 0
+    for signer, signature in zip(qc.signers, qc.signatures):
+        if signature.signer != signer:
+            return None
+        if scheme.verify(verifier, payload, signature):
+            valid += 1
+    if _FLYWEIGHT_ENABLED:
+        qc.__dict__[slot] = (scheme, valid)
+    return valid
+
+
 def verify_view_qc(
     scheme: SignatureScheme,
     verifier: NodeId,
@@ -258,12 +387,11 @@ def verify_view_qc(
         return False
     if len(qc.signers) != len(qc.signatures):
         return False
-    valid = 0
-    for signer, signature in zip(qc.signers, qc.signatures):
-        if signature.signer != signer:
-            return False
-        if scheme.verify(verifier, ("view", qc.cert_type.value, qc.view), signature):
-            valid += 1
+    valid = _memoized_valid_count(
+        scheme, verifier, qc, "_view_valid_by", ("view", qc.cert_type.value, qc.view)
+    )
+    if valid is None:
+        return False
     return valid >= threshold
 
 
@@ -278,10 +406,9 @@ def verify_qc(
         return False
     if len(qc.signers) != len(qc.signatures):
         return False
-    valid = 0
-    for signer, signature in zip(qc.signers, qc.signatures):
-        if signature.signer != signer:
-            return False
-        if scheme.verify(verifier, ("data", qc.digest, qc.view), signature):
-            valid += 1
+    valid = _memoized_valid_count(
+        scheme, verifier, qc, "_data_valid_by", ("data", qc.digest, qc.view)
+    )
+    if valid is None:
+        return False
     return valid >= threshold

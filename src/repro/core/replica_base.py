@@ -159,8 +159,7 @@ class BaseReplica(Process):
 
     def store_block(self, block: Block) -> None:
         """Record a block (and charge the hash-check energy once)."""
-        if block.block_hash not in self.blocks:
-            self.blocks.add(block)
+        if self.blocks.add_if_absent(block):
             self.charge_block_hash(block)
 
     def commit_chain(self, block: Block) -> List[Block]:

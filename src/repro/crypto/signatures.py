@@ -11,15 +11,16 @@ parties) and MACs (cheaper, but equivocation hard to prove) is captured by
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto.energy_costs import (
     SIGNATURE_ENERGY_TABLE,
     SignatureEnergyCost,
     signature_cost,
 )
-from repro.crypto.hashing import canonical_bytes
+from repro.crypto.hashing import canonical_cache
 from repro.crypto.keys import KeyStore
 
 
@@ -68,19 +69,40 @@ class SignatureScheme:
     sign/verify energy.
     """
 
+    #: Class-wide switch for the sign/verify memoization below; the
+    #: ``repro.perf`` legacy mode flips it off to measure the uncached path.
+    cache_operations = True
+
+    #: Bound on the memo tables; cleared wholesale when exceeded.
+    max_cache_entries = 16384
+
     def __init__(self, spec: SchemeSpec, keystore: KeyStore) -> None:
         self.spec = spec
         self.keystore = keystore
-        self.sign_counts: Dict[int, int] = {}
-        self.verify_counts: Dict[int, int] = {}
+        self.sign_counts: Counter[int] = Counter()
+        self.verify_counts: Counter[int] = Counter()
+        # (signer, payload bytes) -> tag; deterministic MACs make signing a
+        # pure function, so the same payload signed for n recipients costs
+        # one HMAC.
+        self._sign_memo: Dict[Tuple[int, bytes], str] = {}
+        # (signer, tag, payload bytes) -> bool; once one replica has checked
+        # a (payload, signature) pair, the other n-1 verifiers pay a lookup.
+        self._verify_memo: Dict[Tuple[int, str, bytes], bool] = {}
 
     # ------------------------------------------------------------ operations
     def sign(self, signer: int, payload: Any) -> Signature:
         """Sign ``payload`` with ``signer``'s secret key."""
-        data = canonical_bytes(payload)
-        pair = self.keystore.key_pair(signer)
-        tag = pair.sign_tag(self._domain_separated(data))
-        self.sign_counts[signer] = self.sign_counts.get(signer, 0) + 1
+        data = canonical_cache.bytes_for(payload)
+        self.sign_counts[signer] += 1
+        key = (signer, data)
+        tag = self._sign_memo.get(key) if self.cache_operations else None
+        if tag is None:
+            pair = self.keystore.key_pair(signer)
+            tag = pair.sign_tag(self._domain_separated(data))
+            if self.cache_operations:
+                if len(self._sign_memo) >= self.max_cache_entries:
+                    self._sign_memo.clear()
+                self._sign_memo[key] = tag
         return Signature(
             signer=signer,
             scheme=self.spec.name,
@@ -88,15 +110,37 @@ class SignatureScheme:
             payload_digest=_short_digest(data),
         )
 
+    def note_verify(self, verifier: int, operations: int = 1) -> None:
+        """Count verification operations satisfied from a higher-level memo.
+
+        When a whole-message verification result is reused across replicas,
+        each replica still *logically* performed the operations — the
+        paper's Table 3 counts and the energy charges must not change just
+        because the simulator skipped redundant HMAC work.
+        """
+        self.verify_counts[verifier] += operations
+
     def verify(self, verifier: int, payload: Any, signature: Signature) -> bool:
         """Verify ``signature`` over ``payload``; counts the operation for ``verifier``."""
-        self.verify_counts[verifier] = self.verify_counts.get(verifier, 0) + 1
+        self.verify_counts[verifier] += 1
         if signature.scheme != self.spec.name:
             return False
-        data = canonical_bytes(payload)
-        return self.keystore.verify_tag(
+        data = canonical_cache.bytes_for(payload)
+        if not self.cache_operations:
+            return self.keystore.verify_tag(
+                signature.signer, self._domain_separated(data), signature.tag
+            )
+        key = (signature.signer, signature.tag, data)
+        cached = self._verify_memo.get(key)
+        if cached is not None:
+            return cached
+        result = self.keystore.verify_tag(
             signature.signer, self._domain_separated(data), signature.tag
         )
+        if len(self._verify_memo) >= self.max_cache_entries:
+            self._verify_memo.clear()
+        self._verify_memo[key] = result
+        return result
 
     # -------------------------------------------------------------- energies
     @property

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Union
+
+#: A charge annotation: the string itself, or a zero-argument thunk that
+#: builds it lazily.  Hot paths pass thunks (or skip the detail entirely)
+#: so untraced meters never pay for string formatting.
+Detail = Union[str, Callable[[], str]]
 
 
 class EnergyCategory(str, Enum):
@@ -116,36 +121,42 @@ class EnergyMeter:
         category: EnergyCategory,
         joules: float,
         time: float = 0.0,
-        detail: str = "",
+        detail: Detail = "",
     ) -> None:
         """Charge ``joules`` to ``category``.
 
         Negative charges are rejected: refunds would let a buggy protocol
         hide energy, and nothing in the paper's model ever returns energy.
+
+        ``detail`` may be a lazy thunk; it is only evaluated when this
+        meter keeps a trace, so hot paths can annotate charges without
+        allocating strings on untraced runs.
         """
         if joules < 0:
             raise ValueError(f"cannot charge negative energy: {joules}")
         self.breakdown.add(category, joules)
         if self.trace_enabled:
+            if callable(detail):
+                detail = detail()
             self.events.append(EnergyEvent(time, category, joules, detail))
 
-    def charge_transmit(self, joules: float, time: float = 0.0, detail: str = "") -> None:
+    def charge_transmit(self, joules: float, time: float = 0.0, detail: Detail = "") -> None:
         """Charge radio transmission energy."""
         self.charge(EnergyCategory.TRANSMIT, joules, time, detail)
 
-    def charge_receive(self, joules: float, time: float = 0.0, detail: str = "") -> None:
+    def charge_receive(self, joules: float, time: float = 0.0, detail: Detail = "") -> None:
         """Charge radio reception energy."""
         self.charge(EnergyCategory.RECEIVE, joules, time, detail)
 
-    def charge_sign(self, joules: float, time: float = 0.0, detail: str = "") -> None:
+    def charge_sign(self, joules: float, time: float = 0.0, detail: Detail = "") -> None:
         """Charge a signing operation."""
         self.charge(EnergyCategory.SIGN, joules, time, detail)
 
-    def charge_verify(self, joules: float, time: float = 0.0, detail: str = "") -> None:
+    def charge_verify(self, joules: float, time: float = 0.0, detail: Detail = "") -> None:
         """Charge a verification operation."""
         self.charge(EnergyCategory.VERIFY, joules, time, detail)
 
-    def charge_hash(self, joules: float, time: float = 0.0, detail: str = "") -> None:
+    def charge_hash(self, joules: float, time: float = 0.0, detail: Detail = "") -> None:
         """Charge a hash computation."""
         self.charge(EnergyCategory.HASH, joules, time, detail)
 

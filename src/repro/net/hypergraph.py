@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 import networkx as nx
@@ -50,6 +51,17 @@ class HyperEdge:
         """Number of receivers (the edge's k)."""
         return len(self.receivers)
 
+    @cached_property
+    def receivers_sorted(self) -> tuple:
+        """Receivers in ascending order, computed once per edge.
+
+        The network transmits to receivers in sorted order for determinism;
+        precomputing the order here keeps an O(k log k) sort out of the
+        per-transmission hot path.  (``cached_property`` writes straight
+        into the instance ``__dict__``, which frozen dataclasses allow.)
+        """
+        return tuple(sorted(self.receivers))
+
     @staticmethod
     def make(sender: int, receivers: Iterable[int]) -> "HyperEdge":
         """Convenience constructor from any iterable of receivers."""
@@ -59,6 +71,10 @@ class HyperEdge:
 @dataclass
 class Hypergraph:
     """A directed communication hypergraph (Definition A.1)."""
+
+    #: Class-wide switch for the adjacency index (perf legacy mode sets it
+    #: to ``False`` to measure the seed's linear edge scans).
+    cache_topology = True
 
     nodes: List[int]
     edges: List[HyperEdge] = field(default_factory=list)
@@ -83,11 +99,33 @@ class Hypergraph:
         """Add a hyper-edge after validating its endpoints."""
         self._validate_edge(edge, set(self.nodes))
         self.edges.append(edge)
+        self.invalidate_topology_cache()
+
+    def invalidate_topology_cache(self) -> None:
+        """Drop the adjacency index (call after mutating ``edges`` directly)."""
+        self.__dict__.pop("_out_index", None)
 
     # ------------------------------------------------------------- topology
-    def out_edges(self, node: int) -> List[HyperEdge]:
-        """Hyper-edges on which ``node`` is the sender."""
-        return [edge for edge in self.edges if edge.sender == node]
+    def out_edges(self, node: int) -> Sequence[HyperEdge]:
+        """Hyper-edges on which ``node`` is the sender.
+
+        Backed by a lazily built sender index: flooding queries the same
+        adjacency once per relay per flood, so a linear scan of ``edges``
+        here would make every broadcast O(n·|E|).  The cached path returns
+        an immutable tuple — mutating the result was never supported, and
+        handing out the index's internal lists would let a caller corrupt
+        the adjacency silently.
+        """
+        if not self.cache_topology:
+            return [edge for edge in self.edges if edge.sender == node]
+        index = self.__dict__.get("_out_index")
+        if index is None:
+            grouped: Dict[int, List[HyperEdge]] = {}
+            for edge in self.edges:
+                grouped.setdefault(edge.sender, []).append(edge)
+            index = {sender: tuple(edges) for sender, edges in grouped.items()}
+            self.__dict__["_out_index"] = index
+        return index.get(node, ())
 
     def in_edges(self, node: int) -> List[HyperEdge]:
         """Hyper-edges on which ``node`` is a receiver."""

@@ -26,10 +26,11 @@ It emulates the paper's CPS deployment:
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from repro.crypto.hashing import canonical_bytes
+from repro.crypto.hashing import canonical_cache
 from repro.energy.ledger import ClusterEnergyLedger
 from repro.net.hypergraph import HyperEdge, Hypergraph
 from repro.radio.ble import BleAdvertisementKCast
@@ -46,12 +47,15 @@ def default_wire_size(message: Any) -> int:
     """Wire size of a message in bytes.
 
     Messages that know their own size expose ``wire_size_bytes``; anything
-    else is serialized canonically and measured.
+    else is serialized canonically and measured.  Both paths are flyweights:
+    protocol messages memoize their size per instance, and raw payloads go
+    through :data:`~repro.crypto.hashing.canonical_cache`, so a flood sizes
+    each message once instead of once per relay.
     """
     size = getattr(message, "wire_size_bytes", None)
     if size is not None:
         return int(size)
-    return len(canonical_bytes(message))
+    return canonical_cache.wire_size_for(message)
 
 
 @dataclass
@@ -63,18 +67,46 @@ class NetworkStats:
     physical_transmissions: int = 0
     physical_bytes: int = 0
     deliveries: int = 0
-    per_node_transmissions: Dict[int, int] = field(default_factory=dict)
-    per_node_bytes: Dict[int, int] = field(default_factory=dict)
+    per_node_transmissions: Counter = field(default_factory=Counter)
+    per_node_bytes: Counter = field(default_factory=Counter)
 
     def record_transmission(self, sender: int, size_bytes: int) -> None:
         self.physical_transmissions += 1
         self.physical_bytes += size_bytes
-        self.per_node_transmissions[sender] = self.per_node_transmissions.get(sender, 0) + 1
-        self.per_node_bytes[sender] = self.per_node_bytes.get(sender, 0) + size_bytes
+        self.per_node_transmissions[sender] += 1
+        self.per_node_bytes[sender] += size_bytes
 
 
 class SimulatedNetwork:
-    """Flooding network over a hypergraph with energy accounting."""
+    """Flooding network over a hypergraph with energy accounting.
+
+    Flood bookkeeping is garbage collected: the per-flood dedup sets
+    (``_relayed`` / ``_delivered`` / ``_single_hop``) are retired as soon as
+    a flood has no receptions left in flight, so long runs hold state for
+    the handful of floods currently propagating instead of every flood ever
+    broadcast.  Set :attr:`gc_floods` to ``False`` to retain everything
+    (tests and the perf harness's legacy mode use this).
+
+    Known limitations, accepted deliberately:
+
+    * if in-flight reception events are discarded externally (via
+      ``Simulator.drain``/``clear``), the affected floods' dedup state is
+      kept until the network is rebuilt — the in-flight counters never
+      reach zero.  No current caller drains network events mid-flood;
+    * when the simulator is *not* tracing, reception/unicast events carry
+      the constant labels ``"net:flood"``/``"net:uni"`` instead of the
+      per-event strings, so label-selective ``Simulator.drain`` over
+      network events only works on traced runs.  Traced runs (what the
+      testkit fingerprints) see exactly the seed's labels.
+    """
+
+    #: Class-wide switches; the perf legacy mode flips them off to measure
+    #: the seed's per-hop costs.
+    gc_floods = True
+    use_edge_caches = True
+    #: When ``True``, trace labels and energy details are built eagerly even
+    #: if nothing consumes them (seed behaviour; legacy mode only).
+    eager_annotations = False
 
     def __init__(
         self,
@@ -108,7 +140,16 @@ class SimulatedNetwork:
         self._single_hop: set[int] = set()
         # flood id -> set of node ids that have already had it delivered
         self._delivered: Dict[int, set[int]] = {}
+        # flood id -> receptions scheduled but not yet arrived; a flood's
+        # dedup state is retired when this drops to zero.
+        self._in_flight: Dict[int, int] = {}
         self._partition: set[int] = set()
+        # (size, k) -> radio cost: transmission pricing is a pure function
+        # of payload size and edge degree, recomputed once per shape.
+        self._kcast_costs: Dict[tuple, Any] = {}
+        # pid -> meter: skips the ledger's lazy-create indirection on the
+        # two-charges-per-reception hot path.
+        self._meter_cache: Dict[int, Any] = {}
 
     # ---------------------------------------------------------- registration
     def register(self, process: Process) -> None:
@@ -154,49 +195,102 @@ class SimulatedNetwork:
         flood_id = next(self._flood_counter)
         self._relayed[flood_id] = set()
         self._delivered[flood_id] = set()
+        self._in_flight[flood_id] = 0
         self.stats.broadcasts += 1
         # Local delivery to the origin (no radio energy).
         self._deliver(flood_id, origin, origin, message, local=True)
-        self._relay_from(flood_id, origin, origin, message)
+        size = default_wire_size(message) if self.use_edge_caches else None
+        self._relay_from(flood_id, origin, origin, message, size)
+        self._maybe_retire_flood(flood_id)
         return flood_id
 
-    def _relay_from(self, flood_id: int, node: int, origin: int, message: Any) -> None:
-        """Transmit ``message`` on all of ``node``'s outgoing hyper-edges."""
+    def _maybe_retire_flood(self, flood_id: int) -> None:
+        """Drop a flood's dedup state once no receptions remain in flight."""
+        if not self.gc_floods:
+            return
+        if self._in_flight.get(flood_id, 0) == 0:
+            self._in_flight.pop(flood_id, None)
+            self._relayed.pop(flood_id, None)
+            self._delivered.pop(flood_id, None)
+            self._single_hop.discard(flood_id)
+
+    @property
+    def live_floods(self) -> int:
+        """Number of floods whose dedup state is still held (GC metric)."""
+        return len(self._delivered)
+
+    def _relay_from(
+        self, flood_id: int, node: int, origin: int, message: Any, size: Optional[int] = None
+    ) -> None:
+        """Transmit ``message`` on all of ``node``'s outgoing hyper-edges.
+
+        ``size`` is threaded down from the broadcast so a flood sizes its
+        message once; when ``None`` (legacy mode, external callers) it is
+        recomputed here, once per relaying node, as the seed did.
+        """
         if node in self._partition:
             return
-        if node in self._relayed[flood_id]:
+        relayed = self._relayed[flood_id]
+        if node in relayed:
             return
         if node != origin and flood_id in self._single_hop:
             # One-hop multicast: receivers do not forward.
-            self._relayed[flood_id].add(node)
+            relayed.add(node)
             return
         policy = self.relay_policies.get(node)
         if node != origin and policy is not None and not policy(origin, message):
             # Byzantine (or misconfigured) nodes may silently drop relays;
             # the hypergraph fault bound guarantees correct nodes still
             # receive the flood via other paths.
-            self._relayed[flood_id].add(node)
+            relayed.add(node)
             return
-        self._relayed[flood_id].add(node)
-        size = default_wire_size(message)
+        relayed.add(node)
+        if size is None:
+            size = default_wire_size(message)
         for edge in self.hypergraph.out_edges(node):
             self._transmit_edge(flood_id, edge, origin, message, size)
+
+    def _meter(self, pid: int):
+        meter = self._meter_cache.get(pid)
+        if meter is None:
+            meter = self.ledger.meter(pid)
+            self._meter_cache[pid] = meter
+        return meter
+
+    def _kcast_cost(self, size: int, k: int):
+        cost = self._kcast_costs.get((size, k))
+        if cost is None:
+            cost = self.kcast_radio.transmission_cost(size, k)
+            if len(self._kcast_costs) < 4096:
+                self._kcast_costs[(size, k)] = cost
+        return cost
 
     def _transmit_edge(
         self, flood_id: int, edge: HyperEdge, origin: int, message: Any, size: int
     ) -> None:
         k = edge.degree
-        cost = self.kcast_radio.transmission_cost(size, k)
-        sender_meter = self.ledger.meter(edge.sender)
-        sender_meter.charge_transmit(
-            cost.sender_energy_j, self.sim.now, detail=f"kcast k={k} {size}B"
+        if self.use_edge_caches:
+            cost = self._kcast_cost(size, k)
+            receivers = edge.receivers_sorted
+        else:
+            cost = self.kcast_radio.transmission_cost(size, k)
+            receivers = sorted(edge.receivers)
+        sender_meter = self._meter(edge.sender)
+        detail = (
+            f"kcast k={k} {size}B"
+            if sender_meter.trace_enabled or self.eager_annotations
+            else ""
         )
+        sender_meter.charge_transmit(cost.sender_energy_j, self.sim.now, detail=detail)
         self.stats.record_transmission(edge.sender, size)
         latency = self._hop_latency()
-        for receiver in sorted(edge.receivers):
+        relay_size = size if self.use_edge_caches else None
+        for receiver in receivers:
             if receiver in self._partition:
                 continue
-            self._schedule_reception(flood_id, edge.sender, receiver, origin, message, cost, latency)
+            self._schedule_reception(
+                flood_id, edge.sender, receiver, origin, message, cost, latency, relay_size
+            )
 
     def _schedule_reception(
         self,
@@ -207,20 +301,40 @@ class SimulatedNetwork:
         message: Any,
         cost,
         latency: float,
+        size: Optional[int] = None,
     ) -> None:
         def arrive() -> None:
-            already_delivered = receiver in self._delivered[flood_id]
+            delivered = self._delivered.get(flood_id)
+            if delivered is None:
+                # Defensive: the flood's state was dropped externally
+                # (e.g. a test resetting the network); treat as duplicate.
+                already_delivered = True
+            else:
+                already_delivered = receiver in delivered
             if self.charge_duplicate_receptions or not already_delivered:
-                self.ledger.meter(receiver).charge_receive(
-                    cost.per_receiver_energy_j,
-                    self.sim.now,
-                    detail=f"kcast from {hop_sender}",
+                meter = self._meter(receiver)
+                detail = (
+                    f"kcast from {hop_sender}"
+                    if meter.trace_enabled or self.eager_annotations
+                    else ""
                 )
+                meter.charge_receive(cost.per_receiver_energy_j, self.sim.now, detail=detail)
             if not already_delivered:
                 self._deliver(flood_id, origin, receiver, message)
-                self._relay_from(flood_id, receiver, origin, message)
+                self._relay_from(flood_id, receiver, origin, message, size)
+            if self.gc_floods:
+                remaining = self._in_flight.get(flood_id)
+                if remaining is not None:
+                    self._in_flight[flood_id] = remaining - 1
+                    self._maybe_retire_flood(flood_id)
 
-        self.sim.schedule(latency, arrive, label=f"net:flood{flood_id}->{receiver}")
+        if self.gc_floods:
+            self._in_flight[flood_id] = self._in_flight.get(flood_id, 0) + 1
+        if self.sim.trace_enabled or self.eager_annotations:
+            label = f"net:flood{flood_id}->{receiver}"
+        else:
+            label = "net:flood"
+        self.sim.schedule(latency, arrive, label=label)
 
     def _deliver(
         self, flood_id: int, origin: int, receiver: int, message: Any, local: bool = False
@@ -248,23 +362,35 @@ class SimulatedNetwork:
             return
         size = default_wire_size(message)
         cost = self.unicast_radio.transmission_cost(size)
-        self.ledger.meter(src).charge_transmit(
-            cost.sender_energy_j, self.sim.now, detail=f"unicast->{dst} {size}B"
+        src_meter = self._meter(src)
+        detail = (
+            f"unicast->{dst} {size}B"
+            if src_meter.trace_enabled or self.eager_annotations
+            else ""
         )
+        src_meter.charge_transmit(cost.sender_energy_j, self.sim.now, detail=detail)
         self.stats.unicasts += 1
         self.stats.record_transmission(src, size)
         latency = self._hop_latency()
 
         def arrive() -> None:
-            self.ledger.meter(dst).charge_receive(
-                cost.receiver_energy_j, self.sim.now, detail=f"unicast from {src}"
+            meter = self._meter(dst)
+            detail = (
+                f"unicast from {src}"
+                if meter.trace_enabled or self.eager_annotations
+                else ""
             )
+            meter.charge_receive(cost.receiver_energy_j, self.sim.now, detail=detail)
             process = self.processes.get(dst)
             if process is not None:
                 self.stats.deliveries += 1
                 process.deliver(src, message)
 
-        self.sim.schedule(latency, arrive, label=f"net:uni {src}->{dst}")
+        if self.sim.trace_enabled or self.eager_annotations:
+            label = f"net:uni {src}->{dst}"
+        else:
+            label = "net:uni"
+        self.sim.schedule(latency, arrive, label=label)
 
     # ------------------------------------------------------------- helpers
     def multicast_neighbors(self, origin: int, message: Any) -> None:
@@ -274,9 +400,11 @@ class SimulatedNetwork:
         self._relayed[flood_id] = {origin}
         self._delivered[flood_id] = {origin}
         self._single_hop.add(flood_id)
+        self._in_flight[flood_id] = 0
         size = default_wire_size(message)
         for edge in self.hypergraph.out_edges(origin):
             self._transmit_edge(flood_id, edge, origin, message, size)
+        self._maybe_retire_flood(flood_id)
 
     def _require_registered(self, pid: int) -> None:
         if pid not in self.processes:

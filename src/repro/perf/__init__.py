@@ -1,0 +1,36 @@
+"""Performance measurement subsystem: benchmarks, counters, bench reports.
+
+``python -m repro.perf`` runs the hot-path suite (each benchmark under
+legacy mode and under the optimized defaults) and writes
+``BENCH_hotpath.json`` at the repo root.  See ``docs/performance.md``.
+"""
+
+from repro.perf.benchmarks import (
+    BenchPayload,
+    BenchResult,
+    bench_eesmr_steady_state,
+    bench_event_throughput,
+    bench_flood_fanout,
+    bench_flood_scaling,
+)
+from repro.perf.counters import StageTimer, collect_cache_stats, time_repeats
+from repro.perf.legacy import LegacyEventQueue, legacy_mode
+from repro.perf.report import SPEEDUP_GATES, BenchEntry, BenchReport, run_hotpath_suite
+
+__all__ = [
+    "BenchEntry",
+    "BenchPayload",
+    "BenchReport",
+    "BenchResult",
+    "LegacyEventQueue",
+    "SPEEDUP_GATES",
+    "StageTimer",
+    "bench_eesmr_steady_state",
+    "bench_event_throughput",
+    "bench_flood_fanout",
+    "bench_flood_scaling",
+    "collect_cache_stats",
+    "legacy_mode",
+    "run_hotpath_suite",
+    "time_repeats",
+]

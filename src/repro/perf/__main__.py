@@ -1,0 +1,54 @@
+"""CLI entry point: ``python -m repro.perf [--quick] [--out DIR]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.perf.report import SPEEDUP_GATES, run_hotpath_suite
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the hot-path benchmark suite and write BENCH_hotpath.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test scale (fast; numbers not meaningful against the gates)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path.cwd(),
+        help="directory to write BENCH_hotpath.json into (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_hotpath_suite(quick=args.quick)
+    path = report.write(args.out)
+
+    print(f"wrote {path}")
+    for entry in report.entries:
+        print(
+            f"  {entry.name}: {entry.before_s:.4f}s -> {entry.after_s:.4f}s "
+            f"({entry.speedup:.2f}x, {entry.metric})"
+        )
+    if not args.quick:
+        gates = report.gates_passed()
+        for name, ok in sorted(gates.items()):
+            entry = report.entry(name)
+            actual = f"{entry.speedup:.2f}x" if entry is not None else "n/a"
+            print(
+                f"  gate {name}: floor {SPEEDUP_GATES[name]:.1f}x, "
+                f"actual {actual}: {'PASS' if ok else 'FAIL'}"
+            )
+        if not all(gates.values()):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Lightweight counters and timers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.crypto.hashing import canonical_cache
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time over named stages (perf diagnostics)."""
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _open: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, stage: str) -> None:
+        self._open[stage] = time.perf_counter()
+
+    def stop(self, stage: str) -> float:
+        begun = self._open.pop(stage, None)
+        if begun is None:
+            raise KeyError(f"stage {stage!r} was never started")
+        elapsed = time.perf_counter() - begun
+        self.totals[stage] = self.totals.get(stage, 0.0) + elapsed
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+        return elapsed
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self.totals.items()))
+
+
+def time_repeats(fn, repeats: int) -> List[float]:
+    """Wall-clock ``fn()`` ``repeats`` times, returning every sample."""
+    samples: List[float] = []
+    for _ in range(max(1, repeats)):
+        begun = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - begun)
+    return samples
+
+
+def collect_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide flyweight cache counters."""
+    return canonical_cache.stats()

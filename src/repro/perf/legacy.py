@@ -1,0 +1,153 @@
+"""Legacy (pre-optimization) execution mode for honest before/after numbers.
+
+The hot-path optimizations — flyweight canonicalization, tuple-keyed event
+heap, flood-state GC, adjacency caching, lazy trace/energy annotations —
+are behind switches.  :func:`legacy_mode` flips every switch back to the
+seed behaviour and additionally swaps in :class:`LegacyEventQueue`, a
+faithful copy of the seed's ``@dataclass(order=True)`` heap, so the
+benchmark suite can measure "before" and "after" within one process using
+the exact same workload code.
+
+A few algorithmic repairs intentionally have *no* switch and therefore
+speed up both sides equally: the early-stop ``CommittedLog.commit``, the
+amortized ``BlockStore`` ancestry set, and the per-block hash/size memos.
+The "before" numbers are thus slightly *faster* than the true seed, which
+biases every reported speedup downward — the conservative direction for a
+gated number.
+
+The legacy mode is *behaviour preserving*: a run under ``legacy_mode()``
+produces byte-identical traces to an optimized run — only the wall-clock
+and memory profiles differ.  That is the determinism contract the
+benchmark gate rides on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.core import messages as _messages
+from repro.crypto.hashing import canonical_cache
+from repro.crypto.signatures import SignatureScheme
+from repro.net.hypergraph import Hypergraph
+from repro.net.network import SimulatedNetwork
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(order=True)
+class LegacyEvent:
+    """The seed's rich-comparison event record (kept verbatim for timing)."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+
+class LegacyEventQueue:
+    """The seed's event queue: dataclass entries, rich-comparison heap ops."""
+
+    def __init__(self) -> None:
+        self._heap: list[LegacyEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> LegacyEvent:
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = LegacyEvent(
+            time=time, priority=priority, seq=next(self._counter), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[LegacyEvent]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def cancel(self, event: LegacyEvent) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+
+@contextmanager
+def legacy_mode() -> Iterator[None]:
+    """Run the enclosed code with every hot-path optimization disabled.
+
+    Restores all switches on exit, even on error.  Not reentrant and not
+    thread-safe — it mutates process-wide class attributes, which is fine
+    for a benchmark harness and nothing else.
+    """
+    saved = (
+        canonical_cache.enabled,
+        SignatureScheme.cache_operations,
+        Hypergraph.cache_topology,
+        SimulatedNetwork.gc_floods,
+        SimulatedNetwork.use_edge_caches,
+        SimulatedNetwork.eager_annotations,
+        Simulator.queue_factory,
+    )
+    saved_flyweight = _messages.flyweight_enabled()
+    canonical_cache.enabled = False
+    SignatureScheme.cache_operations = False
+    Hypergraph.cache_topology = False
+    SimulatedNetwork.gc_floods = False
+    SimulatedNetwork.use_edge_caches = False
+    SimulatedNetwork.eager_annotations = True
+    Simulator.queue_factory = LegacyEventQueue
+    _messages.set_flyweight_enabled(False)
+    try:
+        yield
+    finally:
+        (
+            canonical_cache.enabled,
+            SignatureScheme.cache_operations,
+            Hypergraph.cache_topology,
+            SimulatedNetwork.gc_floods,
+            SimulatedNetwork.use_edge_caches,
+            SimulatedNetwork.eager_annotations,
+            Simulator.queue_factory,
+        ) = saved
+        _messages.set_flyweight_enabled(saved_flyweight)

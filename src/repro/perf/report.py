@@ -1,0 +1,164 @@
+"""Benchmark report writer: the perf trajectory as data.
+
+A :class:`BenchReport` pairs each benchmark's "before" (legacy mode —
+every hot-path optimization disabled) and "after" (optimized) numbers and
+writes them to ``BENCH_<name>.json`` at the repo root, so speedups are a
+tracked, regression-gated artifact instead of a claim in a commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.perf.benchmarks import (
+    BenchResult,
+    bench_eesmr_steady_state,
+    bench_event_throughput,
+    bench_flood_fanout,
+)
+from repro.perf.counters import collect_cache_stats
+from repro.perf.legacy import legacy_mode
+
+#: Speedup floors the hot-path PR is gated on (see docs/performance.md).
+SPEEDUP_GATES = {"flood_fanout": 3.0, "eesmr_steady_state": 2.0}
+
+
+@dataclass
+class BenchEntry:
+    """Before/after timings for one benchmark."""
+
+    name: str
+    params: Dict[str, Any]
+    metric: str
+    work_units: int
+    before_s: float
+    after_s: float
+    before_samples_s: List[float]
+    after_samples_s: List[float]
+
+    @property
+    def speedup(self) -> float:
+        return self.before_s / self.after_s if self.after_s > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "metric": self.metric,
+            "work_units": self.work_units,
+            "before_s": round(self.before_s, 6),
+            "after_s": round(self.after_s, 6),
+            "before_samples_s": [round(s, 6) for s in self.before_samples_s],
+            "after_samples_s": [round(s, 6) for s in self.after_samples_s],
+            "before_throughput_per_s": round(self.work_units / self.before_s, 2)
+            if self.before_s
+            else 0.0,
+            "after_throughput_per_s": round(self.work_units / self.after_s, 2)
+            if self.after_s
+            else 0.0,
+            "speedup": round(self.speedup, 2),
+        }
+
+
+@dataclass
+class BenchReport:
+    """A set of before/after benchmark entries plus environment metadata."""
+
+    name: str
+    entries: List[BenchEntry] = field(default_factory=list)
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, before: BenchResult, after: BenchResult) -> BenchEntry:
+        if before.name != after.name:
+            raise ValueError(f"mismatched benchmarks: {before.name} vs {after.name}")
+        entry = BenchEntry(
+            name=after.name,
+            params=after.params,
+            metric=after.metric_name,
+            work_units=after.work_units,
+            before_s=before.best_s,
+            after_s=after.best_s,
+            before_samples_s=before.samples_s,
+            after_samples_s=after.samples_s,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def entry(self, name: str) -> Optional[BenchEntry]:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    def gates_passed(self) -> Dict[str, bool]:
+        """Whether every gated benchmark meets its speedup floor."""
+        verdicts: Dict[str, bool] = {}
+        for name, floor in SPEEDUP_GATES.items():
+            entry = self.entry(name)
+            verdicts[name] = entry is not None and entry.speedup >= floor
+        return verdicts
+
+    def to_dict(self) -> Dict[str, Any]:
+        passed = self.gates_passed()
+        return {
+            "report": self.name,
+            "generated_unix": int(time.time()),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "gates": {
+                name: {"floor": SPEEDUP_GATES[name], "passed": passed[name]}
+                for name in sorted(SPEEDUP_GATES)
+            },
+            "entries": [entry.to_dict() for entry in self.entries],
+            "notes": self.notes,
+        }
+
+    def write(self, repo_root: Path) -> Path:
+        """Emit ``BENCH_<name>.json`` at the repo root; returns the path."""
+        path = Path(repo_root) / f"BENCH_{self.name}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n")
+        return path
+
+
+def run_hotpath_suite(quick: bool = False) -> BenchReport:
+    """Run the full before/after hot-path suite.
+
+    Args:
+        quick: Shrink every workload (smoke-test scale).  Quick mode checks
+            that the harness runs end to end; only the full suite produces
+            numbers meaningful against the speedup gates.
+    """
+    if quick:
+        event_kw = {"n_events": 5_000, "repeats": 2}
+        flood_kw = {"n": 8, "floods": 6, "payload_bytes": 512, "repeats": 2}
+        eesmr_kw = {"n": 5, "f": 1, "target_height": 4, "repeats": 2}
+    else:
+        event_kw = {"n_events": 150_000, "repeats": 3}
+        flood_kw = {"n": 40, "floods": 60, "payload_bytes": 2048, "repeats": 3}
+        # A larger-n steady state (the ROADMAP's scaling direction) with
+        # single-command blocks: the protocol hot path, not workload fill.
+        eesmr_kw = {"n": 25, "f": 5, "target_height": 25, "batch_size": 1, "repeats": 7}
+
+    report = BenchReport(name="hotpath")
+    suites = (
+        (bench_event_throughput, event_kw),
+        (bench_flood_fanout, flood_kw),
+        (bench_eesmr_steady_state, eesmr_kw),
+    )
+    for bench, kwargs in suites:
+        with legacy_mode():
+            before = bench(**kwargs)
+        after = bench(**kwargs)
+        report.add(before, after)
+    report.notes["canonical_cache"] = collect_cache_stats()
+    report.notes["quick"] = quick
+    report.notes["mode"] = (
+        "before = legacy mode (all hot-path switches off, seed event queue); "
+        "after = optimized defaults; best-of-N wall clock per benchmark"
+    )
+    return report

@@ -5,17 +5,26 @@ number guarantees a deterministic total order even when two events are
 scheduled for the same instant, which matters because the protocols under
 test are sensitive to message interleavings and the experiments must be
 reproducible run-to-run.
+
+Hot-path design: the heap holds plain ``(time, priority, seq, event)``
+tuples, so every sift compares native tuples instead of invoking dataclass
+rich-comparison methods, and :class:`Event` is a ``__slots__`` handle that
+carries no per-instance ``__dict__``.  Labels may be either strings or
+zero-argument callables; callables are only invoked when a trace consumer
+actually needs the text, so unlabeled or untraced events never pay for
+string formatting.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+#: A trace label: either the string itself or a thunk producing it lazily.
+Label = Union[str, Callable[[], str]]
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -24,32 +33,66 @@ class Event:
         priority: Lower values fire earlier among events at the same time.
         seq: Monotonically increasing tie-breaker assigned by the queue.
         callback: Zero-argument callable invoked when the event fires.
-        label: Optional human-readable label used in traces.
+        label: Optional label used in traces (string or lazy thunk).
         cancelled: Cancelled events stay in the heap but are skipped.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled", "_queue", "_in_heap")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: Label = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        self._queue: Optional["EventQueue"] = None
+        self._in_heap = False
 
     def cancel(self) -> None:
-        """Mark the event so the scheduler skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the scheduler skips it when popped.
+
+        Cancelling is idempotent and safe after the event has fired: the
+        queue's live count only drops while the event still sits in a heap,
+        so double-cancels and cancel-after-pop cannot corrupt ``len(queue)``.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_heap and self._queue is not None:
+                self._queue._live -= 1
 
     @property
     def active(self) -> bool:
         """Whether the event will still fire."""
         return not self.cancelled
 
+    def resolved_label(self) -> str:
+        """The trace label text (invokes lazy label thunks)."""
+        label = self.label
+        return label() if callable(label) else label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else "active"
+        return f"<Event t={self.time} prio={self.priority} seq={self.seq} {state}>"
+
+
+#: Heap entry: comparison never reaches the Event because seq is unique.
+HeapEntry = Tuple[float, int, int, Event]
+
 
 class EventQueue:
     """A min-heap of :class:`Event` objects with deterministic ordering."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[HeapEntry] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -64,26 +107,25 @@ class EventQueue:
         time: float,
         callback: Callable[[], None],
         priority: int = 0,
-        label: str = "",
+        label: Label = "",
     ) -> Event:
         """Schedule ``callback`` at virtual ``time`` and return its handle."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, priority, seq, callback, label)
+        event._queue = self
+        event._in_heap = True
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next active event, or ``None`` if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            event._in_heap = False
             if event.cancelled:
                 continue
             self._live -= 1
@@ -92,19 +134,47 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next active event without popping."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)[3]._in_heap = False
+                continue
+            return entry[0]
+        return None
 
     def cancel(self, event: Event) -> None:
         """Cancel an event previously returned by :meth:`push`."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        event.cancel()
+
+    def remove_where(self, predicate: Callable[[Event], bool]) -> int:
+        """Drop every pending event matching ``predicate``; returns the count.
+
+        Non-matching events keep their original heap entries (and therefore
+        their original ordering keys), so a selective drain cannot reorder
+        the survivors.
+        """
+        kept: List[HeapEntry] = []
+        removed = 0
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                event._in_heap = False
+                continue
+            if predicate(event):
+                event.cancelled = True
+                event._in_heap = False
+                removed += 1
+            else:
+                kept.append(entry)
+        heapq.heapify(kept)
+        self._heap = kept
+        self._live = len(kept)
+        return removed
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[3]._in_heap = False
         self._heap.clear()
         self._live = 0

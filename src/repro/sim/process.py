@@ -24,6 +24,7 @@ class Process:
         self.name = name if name is not None else f"p{pid}"
         self.crashed = False
         self._delivered = 0
+        self._after_label = f"{self.name}:after"
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -70,7 +71,7 @@ class Process:
             if not self.crashed:
                 callback()
 
-        self.sim.schedule(delay, guarded, label=label or f"{self.name}:after")
+        self.sim.schedule(delay, guarded, label=label or self._after_label)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<{type(self).__name__} {self.name}>"

@@ -28,8 +28,12 @@ class Simulator:
             by the integration tests to assert protocol phase ordering.
     """
 
+    #: Factory for the backing queue; the perf harness swaps in a legacy
+    #: implementation to measure the seed's event-loop overhead.
+    queue_factory = EventQueue
+
     def __init__(self, trace: bool = False) -> None:
-        self._queue = EventQueue()
+        self._queue = self.queue_factory()
         self._now = 0.0
         self._running = False
         self._executed = 0
@@ -77,7 +81,9 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, priority, label)
+        # Push directly rather than via schedule_at: this is the hottest
+        # call in the simulator and delay >= 0 already implies time >= now.
+        return self._queue.push(self._now + delay, callback, priority, label)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -94,7 +100,10 @@ class Simulator:
         self._now = event.time
         self._executed += 1
         if self.trace_enabled:
-            self.trace_log.append((self._now, event.label))
+            label = event.label
+            if callable(label):
+                label = label()
+            self.trace_log.append((self._now, label))
         event.callback()
         return True
 
@@ -117,11 +126,13 @@ class Simulator:
         executed_here = 0
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
+                if until is not None:
+                    # Peek only when a time bound needs checking; the
+                    # unbounded loop (run_until_idle, the hot case) goes
+                    # straight to the pop inside step().
+                    next_time = self._queue.peek_time()
+                    if next_time is None or next_time > until:
+                        break
                 if not self.step():
                     break
                 executed_here += 1
@@ -138,20 +149,35 @@ class Simulator:
         """Run until no events remain (bounded by ``max_events``)."""
         self.run(until=None, max_events=max_events)
 
-    def drain(self, labels: Optional[Iterable[str]] = None) -> None:
-        """Cancel all pending events (optionally only those whose label matches)."""
+    def drain(self, labels: Optional[Iterable[str]] = None) -> int:
+        """Cancel all pending events (optionally only those whose label matches).
+
+        Survivors of a selective drain keep their original ``(time,
+        priority, seq)`` ordering keys, so same-time/same-priority events
+        still replay in first-scheduled order — a drain must never be a
+        source of nondeterminism.  Returns the number of cancelled events.
+        """
         if labels is None:
+            removed = len(self._queue)
             self._queue.clear()
-            return
+            return removed
         wanted = set(labels)
-        # Rebuild the queue without the matching labels.
+        if hasattr(self._queue, "remove_where"):
+            return self._queue.remove_where(lambda event: event.resolved_label() in wanted)
+        # Fallback for queue implementations without in-place removal
+        # (e.g. the perf harness's legacy queue): pop everything and
+        # re-insert survivors under their original ordering keys.
         survivors: list[Event] = []
+        removed = 0
         while True:
             event = self._queue.pop()
             if event is None:
                 break
-            if event.label in wanted:
+            label = event.label() if callable(event.label) else event.label
+            if label in wanted:
+                removed += 1
                 continue
             survivors.append(event)
-        for event in survivors:
+        for event in sorted(survivors, key=lambda e: (e.time, e.priority, e.seq)):
             self._queue.push(event.time, event.callback, event.priority, event.label)
+        return removed

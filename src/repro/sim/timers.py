@@ -27,6 +27,7 @@ class Timer:
         self._sim = sim
         self.name = name
         self._callback = callback
+        self._label = f"timer:{name}"
         self._event: Optional[Event] = None
         self.started_at: Optional[float] = None
         self.deadline: Optional[float] = None
@@ -41,13 +42,16 @@ class Timer:
         """Arm (or re-arm) the timer to fire ``duration`` from now."""
         if duration < 0:
             raise ValueError(f"timer {self.name}: negative duration {duration}")
-        self.cancel()
+        event = self._event
+        if event is not None:
+            if not event.cancelled:
+                self._sim.cancel(event)
+            self._event = None
         self.fired = False
-        self.started_at = self._sim.now
-        self.deadline = self._sim.now + duration
-        self._event = self._sim.schedule(
-            duration, self._fire, label=f"timer:{self.name}"
-        )
+        now = self._sim.now
+        self.started_at = now
+        self.deadline = now + duration
+        self._event = self._sim.schedule(duration, self._fire, label=self._label)
 
     def reset(self, duration: float) -> None:
         """Alias of :meth:`start`; mirrors the pseudo-code's "reset" wording."""

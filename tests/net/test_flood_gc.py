@@ -1,0 +1,105 @@
+"""Flood-state garbage collection: bounded dedup memory on long runs."""
+
+import pytest
+
+from repro.net.network import SimulatedNetwork
+from repro.sim.process import Process
+from tests.conftest import make_network
+
+
+class Sink(Process):
+    def __init__(self, sim, pid):
+        super().__init__(sim, pid)
+        self.messages = []
+
+    def on_message(self, sender, message):
+        self.messages.append((sender, message))
+
+
+def build(n=7, k=2, seed=3):
+    sim, topology, ledger, network = make_network(n, k, seed)
+    sinks = {pid: Sink(sim, pid) for pid in topology.nodes}
+    for sink in sinks.values():
+        network.register(sink)
+    return sim, topology, ledger, network, sinks
+
+
+def test_dedup_state_empty_after_run_until_idle():
+    sim, _, _, network, sinks = build()
+    for i in range(10):
+        network.broadcast(i % 7, f"msg-{i}")
+    sim.run_until_idle()
+    assert network._relayed == {}
+    assert network._delivered == {}
+    assert network._in_flight == {}
+    assert network._single_hop == set()
+    assert network.live_floods == 0
+    # GC never cost a delivery: every node saw every flood exactly once.
+    for sink in sinks.values():
+        assert len(sink.messages) == 10
+
+
+def test_multicast_state_retired_after_quiescence():
+    sim, _, _, network, _ = build()
+    network.multicast_neighbors(0, "hi")
+    sim.run_until_idle()
+    assert network.live_floods == 0
+    assert network._single_hop == set()
+
+
+def test_state_retained_when_gc_disabled(monkeypatch):
+    sim, _, _, network, _ = build()
+    monkeypatch.setattr(SimulatedNetwork, "gc_floods", False)
+    for i in range(5):
+        network.broadcast(0, f"m{i}")
+    sim.run_until_idle()
+    assert network.live_floods == 5
+    assert len(network._relayed) == 5
+
+
+def test_gc_preserves_stats_and_deliveries(monkeypatch):
+    def run(gc_enabled):
+        monkeypatch.setattr(SimulatedNetwork, "gc_floods", gc_enabled)
+        sim, _, ledger, network, sinks = build(seed=13)
+        for i in range(6):
+            network.broadcast(i % 7, "payload-" + "x" * 64)
+        sim.run_until_idle()
+        stats = network.stats
+        return (
+            stats.physical_transmissions,
+            stats.physical_bytes,
+            stats.deliveries,
+            dict(stats.per_node_transmissions),
+            {pid: meter.total_joules for pid, meter in ledger.meters.items()},
+        )
+
+    assert run(True) == run(False)
+
+
+def test_gc_with_isolated_receiver_still_retires():
+    sim, _, _, network, sinks = build()
+    network.isolate(3)
+    network.broadcast(0, "m")
+    sim.run_until_idle()
+    assert network.live_floods == 0
+    assert sinks[3].messages == []
+
+
+def test_gc_with_non_relaying_byzantine_node_still_retires():
+    sim, _, _, network, sinks = build()
+    network.set_relay_policy(1, lambda origin, message: False)
+    network.broadcast(0, "m")
+    sim.run_until_idle()
+    assert network.live_floods == 0
+    delivered = [pid for pid, sink in sinks.items() if sink.messages]
+    assert sorted(delivered) == list(range(7))
+
+
+def test_interleaved_floods_retire_independently():
+    sim, _, _, network, _ = build()
+    network.broadcast(0, "a")
+    # Run only the first hop, then start a second flood mid-propagation.
+    sim.run(until=0.5)
+    network.broadcast(1, "b")
+    sim.run_until_idle()
+    assert network.live_floods == 0

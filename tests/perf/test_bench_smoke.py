@@ -1,0 +1,30 @@
+"""End-to-end benchmark-harness smoke (opt-in: ``make bench-smoke``).
+
+Runs the real before/after suite at smoke scale and checks the report
+plumbing.  Speedup *floors* are only asserted by the full ``make bench``
+run — smoke-scale workloads are too small for stable ratios.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.report import SPEEDUP_GATES, run_hotpath_suite
+
+pytestmark = pytest.mark.bench
+
+
+def test_quick_suite_end_to_end(tmp_path):
+    report = run_hotpath_suite(quick=True)
+    names = [entry.name for entry in report.entries]
+    assert names == ["event_throughput", "flood_fanout", "eesmr_steady_state"]
+    for entry in report.entries:
+        assert entry.before_s > 0
+        assert entry.after_s > 0
+        assert entry.speedup > 0
+    path = report.write(tmp_path)
+    payload = json.loads(path.read_text())
+    assert payload["report"] == "hotpath"
+    assert payload["notes"]["quick"] is True
+    assert set(payload["gates"]) == set(SPEEDUP_GATES)
+    assert len(payload["entries"]) == 3
