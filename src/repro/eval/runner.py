@@ -28,6 +28,7 @@ from repro.net.hypergraph import Hypergraph
 from repro.net.network import NetworkStats, SimulatedNetwork
 from repro.net.topology import (
     fully_connected_topology,
+    random_kcast_topology,
     ring_kcast_topology,
     star_topology,
     unicast_ring_topology,
@@ -38,7 +39,7 @@ from repro.radio.media import (
     lte_medium,
     make_medium,
 )
-from repro.sim.rng import SeededRNG
+from repro.sim.rng import SeededRNG, derive_seed
 from repro.sim.scheduler import Simulator
 from repro.eval.workloads import client_for_run, commands_for_run, fill_txpools
 
@@ -60,6 +61,11 @@ class DeploymentSpec:
     f: int = 1
     k: int = 2
     topology: str = "ring-kcast"
+    #: Outgoing k-casts per node for the ``random-kcast`` topology.
+    edges_per_node: int = 1
+    #: Seed for the ``random-kcast`` receiver sampling; defaults to a
+    #: stream derived from ``seed`` so runs stay reproducible per spec.
+    topology_seed: Optional[int] = None
     medium: str = "ble"
     hop_delay: float = 1.0
     delta: Optional[float] = None
@@ -189,6 +195,15 @@ class ProtocolRunner:
             return unicast_ring_topology(spec.n, spec.k)
         if spec.topology == "star":
             return star_topology(spec.n + 1, center=spec.n)
+        if spec.topology == "random-kcast":
+            topology_seed = (
+                spec.topology_seed
+                if spec.topology_seed is not None
+                else derive_seed(spec.seed, "topology", spec.n, spec.k, spec.edges_per_node)
+            )
+            return random_kcast_topology(
+                spec.n, spec.k, edges_per_node=spec.edges_per_node, rng=SeededRNG(topology_seed)
+            )
         raise ValueError(f"unknown topology {spec.topology!r}")
 
     def compute_delta(self, spec: DeploymentSpec, topology: Hypergraph) -> float:

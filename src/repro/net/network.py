@@ -43,6 +43,11 @@ from repro.sim.rng import SeededRNG
 RelayPolicy = Callable[[int, Any], bool]
 
 
+def _never_relay(_origin: int, _message: Any) -> bool:
+    """The relay policy installed while a refcounted relay denial is active."""
+    return False
+
+
 def default_wire_size(message: Any) -> int:
     """Wire size of a message in bytes.
 
@@ -143,7 +148,16 @@ class SimulatedNetwork:
         # flood id -> receptions scheduled but not yet arrived; a flood's
         # dedup state is retired when this drops to zero.
         self._in_flight: Dict[int, int] = {}
-        self._partition: set[int] = set()
+        # pid -> isolation depth.  Overlapping partition windows each call
+        # isolate()/reconnect(); the node rejoins only when every window
+        # that cut it off has healed.  Membership tests treat the dict as
+        # the set of currently-partitioned nodes.
+        self._partition: Dict[int, int] = {}
+        # pid -> relay-denial depth, and the base policy saved when the
+        # first denial was pushed.  Interleaved relay-drop windows share
+        # this state, so relaying resumes only when the *last* window lifts.
+        self._relay_denial_depth: Dict[int, int] = {}
+        self._relay_denial_saved: Dict[int, Optional[RelayPolicy]] = {}
         # (size, k) -> radio cost: transmission pricing is a pure function
         # of payload size and edge degree, recomputed once per shape.
         self._kcast_costs: Dict[tuple, Any] = {}
@@ -161,16 +175,69 @@ class SimulatedNetwork:
         self.processes[process.pid] = process
 
     def set_relay_policy(self, pid: int, policy: RelayPolicy) -> None:
-        """Override the relay behaviour of one node (used for Byzantine nodes)."""
-        self.relay_policies[pid] = policy
+        """Override the relay behaviour of one node (used for Byzantine nodes).
+
+        While a refcounted relay denial (:meth:`deny_relay`) is active the
+        denial stays on top: the new policy becomes the base restored when
+        the last denial lifts.
+        """
+        if pid in self._relay_denial_depth:
+            self._relay_denial_saved[pid] = policy
+        else:
+            self.relay_policies[pid] = policy
+
+    def deny_relay(self, pid: int) -> None:
+        """Push one refcounted relay denial onto ``pid``.
+
+        The node's base policy (if any) is saved on the first push and
+        restored by the matching last :meth:`allow_relay`, so interleaved
+        drop windows compose: the node resumes relaying only when every
+        window has closed.
+        """
+        depth = self._relay_denial_depth.get(pid, 0)
+        if depth == 0:
+            self._relay_denial_saved[pid] = self.relay_policies.get(pid)
+            self.relay_policies[pid] = _never_relay
+        self._relay_denial_depth[pid] = depth + 1
+
+    def allow_relay(self, pid: int) -> None:
+        """Pop one relay denial; restores the base policy at depth zero.
+
+        Unbalanced calls (no denial active) are a no-op, so healing an
+        already-healed window cannot clobber an unrelated policy.
+        """
+        depth = self._relay_denial_depth.get(pid, 0)
+        if depth == 0:
+            return
+        if depth == 1:
+            del self._relay_denial_depth[pid]
+            previous = self._relay_denial_saved.pop(pid, None)
+            if previous is None:
+                self.relay_policies.pop(pid, None)
+            else:
+                self.relay_policies[pid] = previous
+        else:
+            self._relay_denial_depth[pid] = depth - 1
 
     def isolate(self, pid: int) -> None:
-        """Disconnect a node entirely (failure injection helper)."""
-        self._partition.add(pid)
+        """Disconnect a node (failure injection helper).
+
+        Refcounted: each :meth:`isolate` must be undone by its own
+        :meth:`reconnect`, so overlapping partition windows on the same
+        node cannot heal it early.
+        """
+        self._partition[pid] = self._partition.get(pid, 0) + 1
 
     def reconnect(self, pid: int) -> None:
-        """Undo :meth:`isolate`."""
-        self._partition.discard(pid)
+        """Undo one :meth:`isolate`; the node rejoins at depth zero.
+
+        Reconnecting a node that is not isolated is a no-op.
+        """
+        depth = self._partition.get(pid, 0)
+        if depth <= 1:
+            self._partition.pop(pid, None)
+        else:
+            self._partition[pid] = depth - 1
 
     # -------------------------------------------------------------- timing
     def _hop_latency(self) -> float:

@@ -10,6 +10,7 @@ deployment) and random k-cast graphs.
 
 from __future__ import annotations
 
+from math import comb
 from typing import Optional
 
 from repro.net.hypergraph import HyperEdge, Hypergraph
@@ -91,11 +92,24 @@ def random_kcast_topology(
 ) -> Hypergraph:
     """A random k-cast topology that is strongly connected.
 
-    Each node gets ``edges_per_node`` outgoing k-casts with uniformly chosen
-    receiver sets; candidates are resampled until the resulting hypergraph
-    is strongly connected (bounded by ``max_attempts``).
+    Each node gets exactly ``edges_per_node`` outgoing k-casts with
+    uniformly chosen *distinct* receiver sets; a duplicate sample is
+    resampled (bounded by ``max_attempts``) rather than silently dropped,
+    so the graph never under-provisions a node's out-edges.  Requests that
+    cannot be satisfied — more distinct receiver sets than
+    ``comb(n-1, k)`` exist — raise :class:`ValueError` immediately.
+    Whole-graph candidates are resampled until the resulting hypergraph is
+    strongly connected (also bounded by ``max_attempts``).
     """
     _validate_n_k(n, k)
+    if edges_per_node < 1:
+        raise ValueError("edges_per_node must be at least 1")
+    distinct_sets = comb(n - 1, k)
+    if edges_per_node > distinct_sets:
+        raise ValueError(
+            f"edges_per_node={edges_per_node} is unsatisfiable: only "
+            f"{distinct_sets} distinct receiver sets exist for n={n}, k={k}"
+        )
     generator = rng or SeededRNG(0)
     nodes = list(range(n))
     for _ in range(max_attempts):
@@ -104,9 +118,18 @@ def random_kcast_topology(
             others = [x for x in nodes if x != node]
             seen: set[frozenset[int]] = set()
             for _ in range(edges_per_node):
-                receivers = frozenset(generator.sample(others, k))
-                if receivers in seen:
-                    continue
+                receivers: Optional[frozenset[int]] = None
+                for _ in range(max_attempts):
+                    candidate_set = frozenset(generator.sample(others, k))
+                    if candidate_set not in seen:
+                        receivers = candidate_set
+                        break
+                if receivers is None:
+                    raise RuntimeError(
+                        f"could not sample {edges_per_node} distinct receiver "
+                        f"sets for node {node} within {max_attempts} attempts "
+                        f"(n={n}, k={k})"
+                    )
                 seen.add(receivers)
                 edges.append(HyperEdge(sender=node, receivers=receivers))
         candidate = Hypergraph(nodes=list(nodes), edges=edges)

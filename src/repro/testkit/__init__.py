@@ -50,12 +50,15 @@ from repro.testkit.invariants import (
 )
 from repro.testkit.scenarios import (
     ALL_FAULTS,
+    COMPOSED_FAULTS,
     DEFAULT_FAULTS,
     FAULT_LIBRARY,
+    MATRIX_TOPOLOGIES,
     CellOutcome,
     MatrixReport,
     ScenarioCell,
     ScenarioMatrix,
+    SkippedCell,
     run_default_matrix,
     run_full_matrix,
 )
@@ -63,9 +66,11 @@ from repro.testkit.trace import QCRecord, RunTrace, TraceRecorder, spec_fingerpr
 
 __all__ = [
     "ALL_FAULTS",
+    "COMPOSED_FAULTS",
     "DEFAULT_FAULTS",
     "DEFAULT_INVARIANTS",
     "FAULT_LIBRARY",
+    "MATRIX_TOPOLOGIES",
     "AgreementInvariant",
     "CellOutcome",
     "CrashAt",
@@ -88,6 +93,7 @@ __all__ = [
     "ScenarioCell",
     "ScenarioMatrix",
     "SilentFrom",
+    "SkippedCell",
     "StallAt",
     "TraceRecorder",
     "assert_all",

@@ -34,8 +34,9 @@ three hooks:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Optional, Tuple
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.core.adversary import FaultPlan
 from repro.core.types import Round
@@ -55,6 +56,23 @@ class Fault:
     #: safety/energy accounting of correct nodes).  Environmental faults
     #: (drops, partitions) leave the node correct but perturbed.
     byzantine: ClassVar[bool] = True
+
+    #: Whether the fault exempts its node from liveness expectations.
+    #: Byzantine nodes and partitioned nodes may never reach the target
+    #: height; a relay-drop node still receives and votes, so it stays
+    #: held to full liveness (it only withholds *forwarding*).
+    liveness_exempt: ClassVar[bool] = True
+
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        """The ``[start, end)`` window during which this node cannot be
+        relied on to forward floods (``None`` = never impaired).
+
+        Used by the scenario matrix's per-topology feasibility check: the
+        correct nodes must stay strongly connected with every concurrently
+        impaired set removed (Lemma A.5's necessary condition,
+        instantiated on the concrete fault schedule).
+        """
+        return None
 
     def behaviour(self) -> Optional[Tuple[str, dict]]:
         """(behaviour name, kwargs) for the EESMR adversary class table."""
@@ -86,6 +104,9 @@ class ByzantineFault(Fault):
 
     def install(self, sim, network, replicas) -> None:
         network.set_relay_policy(self.node, _deny_relay)
+
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        return (0.0, math.inf)
 
 
 @dataclass(frozen=True)
@@ -148,36 +169,41 @@ class RelayDropWindow(Fault):
     This is the "silent relay" threat of the hypergraph fault bound
     (Appendix A): the node keeps running the protocol but contributes no
     forwarding for a while.  The node stays *correct* for safety and energy
-    accounting, but is excluded from liveness expectations while degraded.
+    accounting — and because it keeps receiving floods and voting
+    throughout the window, it is also still held to full liveness
+    (``liveness_exempt = False``); only its *forwarding* is withheld.
     """
 
     start: float = 0.0
     end: float = 0.0
 
     byzantine: ClassVar[bool] = False
+    #: The node keeps receiving and voting throughout the window — only
+    #: its forwarding is withheld — so it is still expected to be live.
+    liveness_exempt: ClassVar[bool] = False
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise ValueError(f"window end {self.end} before start {self.start}")
 
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.end)
+
     def install(self, sim, network, replicas) -> None:
-        # Restore whatever policy was active before the window (another
-        # composed fault may own a permanent one) instead of clobbering it.
-        saved: list = []
-
-        def window_on() -> None:
-            saved.append(network.relay_policies.get(self.node))
-            network.set_relay_policy(self.node, _deny_relay)
-
-        def window_off() -> None:
-            previous = saved.pop() if saved else None
-            if previous is None:
-                network.relay_policies.pop(self.node, None)
-            else:
-                network.set_relay_policy(self.node, previous)
-
-        sim.schedule_at(self.start, window_on, label=f"fault:drop-on@{self.node}")
-        sim.schedule_at(self.end, window_off, label=f"fault:drop-off@{self.node}")
+        # The denial is refcounted *in the network*, shared across every
+        # composed fault touching this node: interleaved windows lift relay
+        # denial only when the last one closes, and a permanent policy from
+        # a composed Byzantine fault is restored rather than clobbered.
+        sim.schedule_at(
+            self.start,
+            lambda: network.deny_relay(self.node),
+            label=f"fault:drop-on@{self.node}",
+        )
+        sim.schedule_at(
+            self.end,
+            lambda: network.allow_relay(self.node),
+            label=f"fault:drop-off@{self.node}",
+        )
 
 
 @dataclass(frozen=True)
@@ -192,6 +218,9 @@ class PartitionWindow(Fault):
     def __post_init__(self) -> None:
         if self.heal < self.start:
             raise ValueError(f"heal time {self.heal} before start {self.start}")
+
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.heal)
 
     def install(self, sim, network, replicas) -> None:
         sim.schedule_at(
@@ -242,6 +271,41 @@ class FaultSchedule:
     def perturbed_nodes(self) -> Tuple[int, ...]:
         """Every node touched by any fault, Byzantine or environmental."""
         return tuple(sorted({f.node for f in self.faults}))
+
+    def liveness_exempt_nodes(self) -> Tuple[int, ...]:
+        """Nodes excused from liveness expectations (sorted, unique).
+
+        A node is exempt if *any* of its faults exempts it: Byzantine
+        behaviours and partition windows do, relay-drop windows do not —
+        a dropping relay still receives every flood and keeps committing.
+        """
+        return tuple(sorted({f.node for f in self.faults if f.liveness_exempt}))
+
+    def concurrent_impairment_sets(self) -> List[frozenset]:
+        """Every distinct set of nodes simultaneously relay-impaired.
+
+        Sweeps every window boundary of the fault impairment intervals
+        (``[start, end)``; zero-length windows impair nobody) — ends as
+        well as starts, since a node whose window just closed may depend
+        on still-impaired neighbours — and collects the set of impaired
+        nodes at each boundary.  The matrix's feasibility check requires
+        correct nodes to stay strongly connected with each of these sets
+        removed.
+        """
+        intervals = []
+        for fault in self.faults:
+            window = fault.impairment()
+            if window is not None and window[1] > window[0]:
+                intervals.append((fault.node, window[0], window[1]))
+        boundaries = sorted(
+            {s for _, s, _ in intervals} | {e for _, _, e in intervals if e != math.inf}
+        )
+        sets: List[frozenset] = []
+        for t in boundaries:
+            active = frozenset(node for node, s, e in intervals if s <= t < e)
+            if active and active not in sets:
+                sets.append(active)
+        return sets
 
     # ---------------------------------------------------------- runner hooks
     def replica_behaviour(self, pid: int) -> Optional[Tuple[str, dict]]:

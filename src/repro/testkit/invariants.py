@@ -51,10 +51,18 @@ class Evidence:
 
     @property
     def perturbed(self) -> set:
-        """Nodes excluded from liveness expectations (Byzantine + degraded)."""
+        """Nodes excluded from liveness expectations (Byzantine + degraded).
+
+        Degraded-window aware: the schedule distinguishes exempting
+        faults (Byzantine behaviours, partitions — the node may never
+        catch up) from non-exempting ones (relay-drop windows — the node
+        still receives and commits) via
+        :meth:`~repro.testkit.faults.FaultSchedule.liveness_exempt_nodes`.
+        """
         nodes = set(self.byzantine)
-        if self.spec.fault_schedule is not None:
-            nodes |= set(self.spec.fault_schedule.perturbed_nodes())
+        schedule = self.spec.fault_schedule
+        if schedule is not None:
+            nodes |= set(schedule.liveness_exempt_nodes())
         return nodes
 
     @property
@@ -139,7 +147,16 @@ class AgreementInvariant(Invariant):
 
 
 class LivenessInvariant(Invariant):
-    """Every correct, unperturbed node reaches the target height."""
+    """Every correct, unperturbed node reaches the target height.
+
+    Degraded windows are understood per fault class: a node whose only
+    perturbation is a relay-drop window keeps receiving floods and voting,
+    so it is still held to the full target height (even when the window
+    overlaps a Byzantine fault elsewhere and recovery runs through it); a
+    partitioned node may miss blocks it cannot recover, so it is exempt
+    from the height expectation — but it remains *correct*: everything it
+    committed must come from the workload, and agreement still binds it.
+    """
 
     name = "liveness"
 

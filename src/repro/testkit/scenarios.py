@@ -5,16 +5,17 @@ protocols, spot-checked by hand.  :class:`ScenarioMatrix` systematises
 that: it enumerates the cross-product of
 
 * protocol ∈ {eesmr, sync-hotstuff, optsync, trusted-baseline},
-* fault schedule ∈ :data:`FAULT_LIBRARY` (honest, crash-leader,
-  stall-leader, equivocate-leader, silent-relay, drop-window,
-  partition-heal),
+* fault schedule ∈ :data:`FAULT_LIBRARY` (honest, single faults, and
+  composed f>1 schedules such as ``crash-leader+silent-relay`` or
+  ``rolling-partitions``),
 * medium ∈ {ble, wifi, 4g-lte},
-* topology ∈ {ring-kcast, fully-connected, ...},
+* topology ∈ {ring-kcast, fully-connected, star, random-kcast, ...},
 
-runs every cell deterministically through the standard experiment runner
-with a :class:`~repro.testkit.trace.TraceRecorder`, checks the full
-invariant battery (:data:`~repro.testkit.invariants.DEFAULT_INVARIANTS`)
-on every cell, and adds two differential checks:
+runs every *feasible* cell deterministically through the standard
+experiment runner with a :class:`~repro.testkit.trace.TraceRecorder`,
+checks the full invariant battery
+(:data:`~repro.testkit.invariants.DEFAULT_INVARIANTS`) on every cell,
+and adds two differential checks:
 
 * within a cell, all correct replicas committed prefix-compatible command
   sequences (part of the agreement invariant);
@@ -25,6 +26,13 @@ on every cell, and adds two differential checks:
 Byzantine behaviours that only exist for EESMR (equivocation, stalling)
 are modelled as fail-stop for the baseline protocols, exactly as the seed
 experiment runner does.
+
+Infeasible cells are *skipped with a reason*, not run and spuriously
+failed: a (topology, fault) pair is feasible only if the correct nodes
+stay strongly connected with every concurrently relay-impaired node set
+removed (the per-schedule instantiation of Lemma A.5's ``f < k`` bound
+for the ring) and the Byzantine count fits the protocol's ``2f < n``
+assumption.  Skips are recorded on the :class:`MatrixReport`.
 """
 
 from __future__ import annotations
@@ -56,6 +64,44 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
     "silent-relay": lambda n: faults.silent(n - 1),
     "drop-window": lambda n: faults.drop_window(n - 1, start=1.0, end=8.0),
     "partition-heal": lambda n: faults.partition(n - 1, start=2.0, heal=10.0),
+    # ---- composed f>1 schedules -------------------------------------------
+    # The crashed leader and the silent relay sit at 0 and n-2: non-adjacent
+    # on the ring, so a k=2 ring survives both (two *adjacent* non-relaying
+    # nodes would violate Lemma A.5's connectivity requirement).
+    "crash-leader+silent-relay": lambda n: faults.crash_at(0, time=0.0).add(
+        faults.SilentFrom(n - 2)
+    ),
+    # Adjacent crashes at 0 and n-1: deliberately infeasible on the k=2
+    # ring (skipped with a Lemma A.5 reason) but fine on denser topologies.
+    "two-crashes": lambda n: faults.crash_at(0, time=0.0).add(
+        faults.CrashAt(n - 1, time=3.0)
+    ),
+    # A Byzantine leader equivocating *while* a correct node stops relaying:
+    # recovery (blame, view change) must run through the degraded window.
+    "equivocate+drop-window": lambda n: faults.equivocate_at(0, round_number=4).add(
+        faults.RelayDropWindow(n - 2, 1.0, 8.0)
+    ),
+    # Three disjoint partition windows sweeping across the last three nodes;
+    # at most one node is cut off at any instant.
+    "rolling-partitions": lambda n: faults.FaultSchedule(
+        (
+            faults.PartitionWindow(n - 1, 1.0, 4.0),
+            faults.PartitionWindow(n - 2, 4.5, 7.5),
+            faults.PartitionWindow(n - 3, 8.0, 11.0),
+        )
+    ),
+    # Two *overlapping* partition windows on the same node: the node must
+    # stay cut off until the later window heals (the refcounted-isolation
+    # regression).
+    "overlapping-partitions": lambda n: faults.partition(n - 1, start=1.0, heal=6.0).add(
+        faults.PartitionWindow(n - 1, 3.0, 9.0)
+    ),
+    # Two interleaved relay-drop windows on the same node: relaying must
+    # resume only when the second window closes (the shared relay-denial
+    # regression), and the node is still held to full liveness.
+    "stacked-drop-windows": lambda n: faults.drop_window(n - 1, start=1.0, end=5.0).add(
+        faults.RelayDropWindow(n - 1, 2.0, 9.0)
+    ),
 }
 
 #: The default fault slice: every protocol supports these (Byzantine leader
@@ -63,8 +109,22 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
 #: 4 protocols × 3 faults × 3 media = 36-cell matrix.
 DEFAULT_FAULTS = ("none", "crash-leader", "equivocate-leader")
 
+#: The composed f>1 slice: multiple simultaneous faults per schedule.
+COMPOSED_FAULTS = (
+    "crash-leader+silent-relay",
+    "two-crashes",
+    "equivocate+drop-window",
+    "rolling-partitions",
+    "overlapping-partitions",
+    "stacked-drop-windows",
+)
+
 #: The extended slice adds the remaining library entries for a full sweep.
 ALL_FAULTS = tuple(FAULT_LIBRARY)
+
+#: Topology names usable as matrix axes (all thread through
+#: :class:`~repro.eval.runner.DeploymentSpec.topology`).
+MATRIX_TOPOLOGIES = ("ring-kcast", "fully-connected", "star", "random-kcast")
 
 
 @dataclass(frozen=True)
@@ -98,16 +158,33 @@ class CellOutcome:
         return [report for report in self.reports if not report.ok]
 
 
+@dataclass(frozen=True)
+class SkippedCell:
+    """A cell the matrix declined to run, with the reason why."""
+
+    cell: ScenarioCell
+    reason: str
+
+    def label(self) -> str:
+        return f"{self.cell.label()} [skipped: {self.reason}]"
+
+
 @dataclass
 class MatrixReport:
     """Aggregate verdict over a matrix sweep."""
 
     outcomes: List[CellOutcome] = field(default_factory=list)
     differential_failures: List[str] = field(default_factory=list)
+    #: Infeasible cells, each with an explanatory reason (not failures).
+    skipped: List[SkippedCell] = field(default_factory=list)
 
     @property
     def cells_run(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def cells_skipped(self) -> int:
+        return len(self.skipped)
 
     @property
     def ok(self) -> bool:
@@ -121,6 +198,9 @@ class MatrixReport:
         ]
         out.extend(self.differential_failures)
         return out
+
+    def skip_reasons(self) -> List[str]:
+        return [skip.label() for skip in self.skipped]
 
     def assert_clean(self) -> None:
         if not self.ok:
@@ -142,6 +222,8 @@ class ScenarioMatrix:
         n: int = 5,
         f: int = 1,
         k: int = 2,
+        edges_per_node: int = 1,
+        topology_seed: Optional[int] = None,
         target_height: int = 3,
         seed: int = 29,
         invariants: Optional[Sequence] = None,
@@ -158,6 +240,8 @@ class ScenarioMatrix:
         self.n = n
         self.f = f
         self.k = k
+        self.edges_per_node = edges_per_node
+        self.topology_seed = topology_seed
         self.target_height = target_height
         self.seed = seed
         self.invariants = tuple(invariants if invariants is not None else DEFAULT_INVARIANTS)
@@ -176,23 +260,96 @@ class ScenarioMatrix:
         ]
 
     def build_spec(self, cell: ScenarioCell) -> DeploymentSpec:
-        """The deterministic deployment spec for one cell."""
+        """The deterministic deployment spec for one cell.
+
+        Composed schedules may control more nodes than the matrix-wide
+        ``f``; the cell's ``f`` is raised to the schedule's Byzantine count
+        so quorum sizes match the adversary actually deployed.
+        """
+        schedule = FAULT_LIBRARY[cell.fault](self.n)
+        f_cell = self.f
+        if schedule is not None:
+            f_cell = max(f_cell, len(schedule.byzantine_nodes()))
         return DeploymentSpec(
             protocol=cell.protocol,
             n=self.n,
-            f=self.f,
+            f=f_cell,
             k=self.k,
             topology=cell.topology,
+            edges_per_node=self.edges_per_node,
+            topology_seed=self.topology_seed,
             medium=cell.medium,
             target_height=self.target_height,
             seed=self.seed,
-            fault_schedule=FAULT_LIBRARY[cell.fault](self.n),
+            fault_schedule=schedule,
         )
 
+    # ------------------------------------------------------------ feasibility
+    def cell_feasibility(
+        self, cell: ScenarioCell, spec: Optional[DeploymentSpec] = None
+    ) -> Optional[str]:
+        """Why this cell cannot be run meaningfully, or ``None`` if it can.
+
+        Three families of reasons:
+
+        * **quorum bound** — the schedule's Byzantine count must satisfy
+          the protocols' honest-majority assumption ``2f < n`` (the
+          trusted baseline only needs one correct node: its control node
+          orders rounds on a timer and never waits on faulty leaves);
+        * **topology fault bound** — the correct nodes must remain
+          strongly connected with every concurrently relay-impaired node
+          set removed.  This is the per-schedule instantiation of the
+          Lemma A.5 necessary condition (``f < k`` on the ring k-cast);
+        * **unconstructible topology** — the cell's topology parameters
+          cannot produce a graph at all (an unsatisfiable ``random-kcast``
+          request, or bounded connectivity resampling exhausted).
+
+        ``spec`` may be passed to reuse an already-built deployment spec
+        (``run`` does, so each cell builds its schedule exactly once).
+        """
+        if spec is None:
+            spec = self.build_spec(cell)
+        schedule = spec.fault_schedule
+        if schedule is not None:
+            outside = [p for p in schedule.perturbed_nodes() if not 0 <= p < self.n]
+            if outside:
+                return f"fault targets nodes {outside} outside the deployment (n={self.n})"
+        byzantine = schedule.byzantine_nodes() if schedule is not None else ()
+        if cell.protocol == "trusted-baseline":
+            # Leaves only talk to the trusted control node over the control
+            # star (cell.topology is never built); feasibility just needs a
+            # correct node left to serve.
+            if len(byzantine) >= self.n:
+                return f"all {self.n} nodes Byzantine; nothing left to check"
+            return None
+        if 2 * spec.f >= self.n:
+            return (
+                f"{len(byzantine)} Byzantine nodes break the honest-majority "
+                f"bound 2f < n (f={spec.f}, n={self.n})"
+            )
+        try:
+            topology = ProtocolRunner().build_topology(spec)
+        except (ValueError, RuntimeError) as error:
+            return f"topology {cell.topology} cannot be built: {error}"
+        if schedule is None:
+            return None
+        for impaired in schedule.concurrent_impairment_sets():
+            if not topology.is_strongly_connected(exclude=impaired):
+                bound = topology.max_faults_necessary_condition()
+                return (
+                    f"impaired set {sorted(impaired)} disconnects the correct "
+                    f"nodes on {cell.topology} (Lemma A.5 necessary condition: "
+                    f"f <= {bound}, schedule impairs {len(impaired)} at once)"
+                )
+        return None
+
     # ---------------------------------------------------------------- running
-    def run_cell(self, cell: ScenarioCell) -> CellOutcome:
+    def run_cell(
+        self, cell: ScenarioCell, spec: Optional[DeploymentSpec] = None
+    ) -> CellOutcome:
         """Run one cell and check every invariant against its evidence."""
-        spec = self.build_spec(cell)
+        if spec is None:
+            spec = self.build_spec(cell)
         runner = ProtocolRunner(
             max_events=self.max_events, recorder=TraceRecorder(self.record_events)
         )
@@ -203,10 +360,21 @@ class ScenarioMatrix:
         return outcome
 
     def run(self) -> MatrixReport:
-        """Run every cell, then apply the cross-protocol differential checks."""
+        """Run every feasible cell, then apply the differential checks.
+
+        Infeasible (topology, fault) cells — including cells whose
+        topology cannot be constructed at all — are recorded on
+        ``report.skipped`` with an explanatory reason instead of being run
+        and spuriously failed.
+        """
         report = MatrixReport()
         for cell in self.cells():
-            report.outcomes.append(self.run_cell(cell))
+            spec = self.build_spec(cell)
+            reason = self.cell_feasibility(cell, spec=spec)
+            if reason is not None:
+                report.skipped.append(SkippedCell(cell, reason))
+                continue
+            report.outcomes.append(self.run_cell(cell, spec=spec))
         report.differential_failures = self._differential_check(report.outcomes)
         return report
 

@@ -112,7 +112,7 @@ def spec_fingerprint(spec) -> Dict[str, Any]:
             "trigger_round": plan.trigger_round,
             "crash_time": plan.crash_time,
         }
-    return {
+    out = {
         "protocol": spec.protocol,
         "n": spec.n,
         "f": spec.f,
@@ -130,6 +130,12 @@ def spec_fingerprint(spec) -> Dict[str, Any]:
         "jitter": spec.jitter,
         "faults": faults,
     }
+    if spec.topology == "random-kcast":
+        # Only parameterised topologies carry their extra knobs, so the
+        # fingerprints of pre-existing specs stay byte-identical.
+        out["edges_per_node"] = getattr(spec, "edges_per_node", 1)
+        out["topology_seed"] = getattr(spec, "topology_seed", None)
+    return out
 
 
 class TraceRecorder:

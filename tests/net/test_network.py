@@ -89,6 +89,68 @@ def test_reconnect_restores_delivery():
     assert sinks[3].messages
 
 
+def test_isolation_is_refcounted():
+    """Regression: two overlapping isolations (e.g. overlapping partition
+    windows) must both be undone before the node rejoins."""
+    sim, _, _, network, sinks = build(n=5, k=2)
+    network.isolate(3)
+    network.isolate(3)
+    network.reconnect(3)
+    network.broadcast(0, "first")
+    sim.run_until_idle()
+    assert sinks[3].messages == [], "one reconnect must not lift two isolations"
+    network.reconnect(3)
+    network.broadcast(0, "second")
+    sim.run_until_idle()
+    assert [m[1] for m in sinks[3].messages] == ["second"]
+
+
+def test_reconnect_without_isolation_is_a_noop():
+    sim, _, _, network, sinks = build(n=5, k=2)
+    network.reconnect(3)
+    network.isolate(3)
+    network.broadcast(0, "m")
+    sim.run_until_idle()
+    assert sinks[3].messages == [], "a stray reconnect must not pre-cancel an isolation"
+
+
+def test_relay_denial_is_refcounted_and_restores_base_policy():
+    sim, _, _, network, _ = build(n=5, k=2)
+    base = lambda origin, message: origin == 0
+    network.set_relay_policy(2, base)
+    network.deny_relay(2)
+    network.deny_relay(2)
+    assert network.relay_policies[2](0, "m") is False
+    network.allow_relay(2)
+    assert network.relay_policies[2](0, "m") is False, "inner denial still active"
+    network.allow_relay(2)
+    assert network.relay_policies[2] is base
+    # With no base policy the entry is removed entirely.
+    network.deny_relay(4)
+    network.allow_relay(4)
+    assert 4 not in network.relay_policies
+
+
+def test_unbalanced_allow_relay_is_a_noop():
+    sim, _, _, network, _ = build(n=5, k=2)
+    network.allow_relay(2)
+    assert 2 not in network.relay_policies
+    network.deny_relay(2)
+    assert network.relay_policies[2](0, "m") is False
+
+
+def test_set_relay_policy_under_active_denial_updates_the_base():
+    """A policy installed while a denial window is open becomes the base
+    restored when the last window closes — the denial stays on top."""
+    sim, _, _, network, _ = build(n=5, k=2)
+    network.deny_relay(2)
+    replacement = lambda origin, message: True
+    network.set_relay_policy(2, replacement)
+    assert network.relay_policies[2](0, "m") is False, "denial must stay on top"
+    network.allow_relay(2)
+    assert network.relay_policies[2] is replacement
+
+
 def test_unicast_delivers_and_charges_both_endpoints():
     sim, _, ledger, network, sinks = build()
     network.send(0, 3, "direct")

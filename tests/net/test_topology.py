@@ -65,3 +65,25 @@ def test_random_kcast_topology_is_connected_and_deterministic():
 def test_random_kcast_respects_k():
     graph = random_kcast_topology(9, 4, rng=SeededRNG(2))
     assert all(edge.degree == 4 for edge in graph.edges)
+
+
+def test_random_kcast_never_under_provisions_edges():
+    """Regression: duplicate sampled receiver sets used to be silently
+    skipped, leaving nodes with fewer than edges_per_node out-edges.  With
+    n=4, k=1 only three distinct receiver sets exist per node, so duplicate
+    samples are near-certain across seeds; every node must still end up
+    with exactly the requested number of distinct edges."""
+    for seed in range(10):
+        graph = random_kcast_topology(4, 1, edges_per_node=3, rng=SeededRNG(seed))
+        for node in graph.nodes:
+            edges = graph.out_edges(node)
+            assert len(edges) == 3, f"seed {seed}: node {node} under-provisioned"
+            assert len({e.receivers for e in edges}) == 3
+
+
+def test_random_kcast_unsatisfiable_request_raises():
+    # Only comb(4, 4) = 1 distinct receiver set exists for n=5, k=4.
+    with pytest.raises(ValueError, match="unsatisfiable"):
+        random_kcast_topology(5, 4, edges_per_node=2)
+    with pytest.raises(ValueError):
+        random_kcast_topology(5, 2, edges_per_node=0)

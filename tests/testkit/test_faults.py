@@ -146,3 +146,95 @@ def test_drop_window_restores_a_composed_permanent_policy():
     sim.run(until=5.0)
     assert 2 in network.relay_policies
     assert network.relay_policies[2](0, "message") is False
+
+
+def test_overlapping_partition_windows_do_not_heal_early():
+    """Regression: two overlapping partition windows on one node.  Before
+    isolation was refcounted, the first window's heal at t=5 reconnected the
+    node while the second window ([2, 10)) was still open."""
+    sim, topology, ledger, network = make_network()
+    schedule = partition(3, start=1.0, heal=5.0).add(PartitionWindow(3, 2.0, 10.0))
+    schedule.install(sim, network, {})
+    sim.run(until=6.0)
+    assert 3 in network._partition, "first heal must not lift the second window"
+    sim.run(until=10.5)
+    assert 3 not in network._partition
+
+
+def test_interleaved_drop_windows_do_not_lift_denial_early():
+    """Regression: interleaved relay-drop windows [1, 5) + [2, 10).  Before
+    the denial state was shared and refcounted, the first window's close at
+    t=5 restored `None` and the node relayed again while the second window
+    was still active."""
+    sim, topology, ledger, network = make_network()
+    schedule = drop_window(2, start=1.0, end=5.0).add(RelayDropWindow(2, 2.0, 10.0))
+    schedule.install(sim, network, {})
+    sim.run(until=6.0)
+    assert 2 in network.relay_policies, "denial must persist until the last window closes"
+    assert network.relay_policies[2](0, "message") is False
+    sim.run(until=10.5)
+    assert 2 not in network.relay_policies
+
+
+def test_zero_length_drop_window_is_a_noop():
+    sim, topology, ledger, network = make_network()
+    drop_window(2, start=3.0, end=3.0).install(sim, network, {})
+    sim.run(until=4.0)
+    assert 2 not in network.relay_policies
+    assert 2 not in network._relay_denial_depth
+
+
+def test_simultaneous_window_off_and_on_events():
+    """Back-to-back windows [1, 5) and [5, 9): at t=5 the first closes and
+    the second opens; the node must be denied throughout [1, 9)."""
+    sim, topology, ledger, network = make_network()
+    schedule = drop_window(2, start=1.0, end=5.0).add(RelayDropWindow(2, 5.0, 9.0))
+    schedule.install(sim, network, {})
+    sim.run(until=5.5)
+    assert 2 in network.relay_policies
+    assert network.relay_policies[2](0, "message") is False
+    sim.run(until=9.5)
+    assert 2 not in network.relay_policies
+
+
+def test_same_node_byzantine_plus_interleaved_windows():
+    """Windows stacked on a Byzantine node always restore the permanent
+    Byzantine denial, never an intermediate window state."""
+    sim, topology, ledger, network = make_network()
+    schedule = FaultSchedule(
+        (CrashAt(2, time=0.0), RelayDropWindow(2, 1.0, 4.0), RelayDropWindow(2, 2.0, 6.0))
+    )
+    schedule.install(sim, network, {})
+    for until in (3.0, 5.0, 7.0):
+        sim.run(until=until)
+        assert network.relay_policies[2](0, "message") is False
+    assert 2 not in network._relay_denial_depth
+
+
+def test_liveness_exempt_nodes_distinguish_fault_classes():
+    """Byzantine and partitioned nodes are exempt from liveness; a node
+    perturbed only by relay-drop windows keeps committing and is not."""
+    schedule = (
+        crash_at(0, 1.0)
+        .add(PartitionWindow(2, 0.0, 3.0))
+        .add(RelayDropWindow(3, 1.0, 2.0))
+    )
+    assert schedule.perturbed_nodes() == (0, 2, 3)
+    assert schedule.liveness_exempt_nodes() == (0, 2)
+    # A drop window on an otherwise-Byzantine node stays exempt.
+    stacked = crash_at(1, 0.0).add(RelayDropWindow(1, 1.0, 2.0))
+    assert stacked.liveness_exempt_nodes() == (1,)
+
+
+def test_concurrent_impairment_sets():
+    schedule = (
+        crash_at(0, time=2.0)  # Byzantine: impaired for the whole run
+        .add(RelayDropWindow(2, 1.0, 5.0))
+        .add(PartitionWindow(3, 4.0, 8.0))
+        .add(RelayDropWindow(4, 9.0, 9.0))  # zero-length: impairs nobody
+    )
+    sets = schedule.concurrent_impairment_sets()
+    assert frozenset({0, 2}) in sets  # during [1, 4)
+    assert frozenset({0, 2, 3}) in sets  # during [4, 5)
+    assert all(4 not in s for s in sets)
+    assert no_faults().concurrent_impairment_sets() == []

@@ -11,11 +11,14 @@ import pytest
 from repro.eval.runner import MEDIA, PROTOCOLS
 from repro.testkit.scenarios import (
     ALL_FAULTS,
+    COMPOSED_FAULTS,
     DEFAULT_FAULTS,
     FAULT_LIBRARY,
+    MATRIX_TOPOLOGIES,
     MatrixReport,
     ScenarioCell,
     ScenarioMatrix,
+    SkippedCell,
 )
 from repro.testkit.invariants import InvariantViolation
 
@@ -35,6 +38,29 @@ def test_fault_library_has_the_papers_scenarios_and_more():
         FAULT_LIBRARY
     )
     assert len(ALL_FAULTS) >= 7
+
+
+def test_fault_library_has_composed_multi_fault_schedules():
+    """The f>1 slice: every composed entry injects more than one fault."""
+    assert len(COMPOSED_FAULTS) >= 3
+    assert set(COMPOSED_FAULTS) <= set(FAULT_LIBRARY)
+    for name in COMPOSED_FAULTS:
+        schedule = FAULT_LIBRARY[name](5)
+        assert len(schedule) >= 2, name
+    # At least two entries put several nodes under *Byzantine* control.
+    multi_byzantine = [
+        name for name in COMPOSED_FAULTS if len(FAULT_LIBRARY[name](5).byzantine_nodes()) >= 2
+    ]
+    assert len(multi_byzantine) >= 2
+
+
+def test_build_spec_raises_f_to_the_byzantine_count():
+    matrix = ScenarioMatrix()  # matrix-wide f=1
+    spec = matrix.build_spec(ScenarioCell("eesmr", "crash-leader+silent-relay", "ble"))
+    assert spec.f == 2
+    assert len(spec.byzantine_nodes) == 2
+    honest = matrix.build_spec(ScenarioCell("eesmr", "none", "ble"))
+    assert honest.f == 1
 
 
 def test_unknown_fault_name_rejected():
@@ -87,6 +113,94 @@ def test_matrix_report_assert_clean_raises_with_cell_labels():
         report.assert_clean()
 
 
+def test_infeasible_cell_skipped_with_lemma_a5_reason():
+    """Adjacent crashes at 0 and n-1 exceed the k=2 ring's fault bound; the
+    matrix must skip the cell with an explanatory reason, not fail it."""
+    matrix = ScenarioMatrix()
+    reason = matrix.cell_feasibility(ScenarioCell("eesmr", "two-crashes", "ble"))
+    assert reason is not None and "Lemma A.5" in reason
+    # The same schedule is feasible on a denser topology...
+    dense = ScenarioMatrix(topologies=("fully-connected",))
+    assert dense.cell_feasibility(
+        ScenarioCell("eesmr", "two-crashes", "ble", "fully-connected")
+    ) is None
+    # ...and for the trusted baseline, whose leaves only talk to the hub.
+    assert matrix.cell_feasibility(ScenarioCell("trusted-baseline", "two-crashes", "ble")) is None
+
+
+def test_quorum_bound_infeasibility_reason():
+    """Two Byzantine nodes at n=4 break 2f < n: skip, don't fail."""
+    matrix = ScenarioMatrix(n=4)
+    reason = matrix.cell_feasibility(ScenarioCell("eesmr", "crash-leader+silent-relay", "ble"))
+    assert reason is not None and "honest-majority" in reason
+
+
+def test_run_records_skips_and_stays_clean():
+    matrix = ScenarioMatrix(
+        protocols=("eesmr",), fault_names=("none", "two-crashes"), media=("ble",)
+    )
+    report = matrix.run()
+    assert report.cells_run == 1
+    assert report.cells_skipped == 1
+    assert isinstance(report.skipped[0], SkippedCell)
+    assert "Lemma A.5" in report.skipped[0].reason
+    assert "two-crashes" in report.skip_reasons()[0]
+    report.assert_clean()  # skips are not failures
+
+
+def test_matrix_topologies_include_star_and_random_kcast():
+    assert {"star", "random-kcast"} <= set(MATRIX_TOPOLOGIES)
+
+
+def test_unconstructible_topology_skips_instead_of_crashing():
+    """An unsatisfiable random-kcast request (only comb(4,4)=1 distinct
+    receiver set, 2 asked) must skip the cell with a reason, not blow up
+    the whole sweep."""
+    matrix = ScenarioMatrix(
+        protocols=("eesmr", "trusted-baseline"),
+        fault_names=("none", "crash-leader"),
+        media=("ble",),
+        topologies=("random-kcast",),
+        k=4,
+        edges_per_node=2,
+    )
+    report = matrix.run()
+    # The eesmr cells (fault-free included) are skipped; trusted-baseline
+    # never builds the cell topology (it always runs the control star).
+    assert report.cells_run == 2
+    assert report.cells_skipped == 2
+    assert all("cannot be built" in skip.reason for skip in report.skipped)
+    report.assert_clean()
+
+
+def test_star_and_random_kcast_cells_pass_all_invariants():
+    """One representative cell per new topology axis, fast enough for tier-1."""
+    for topology, fault in (("star", "crash-leader"), ("random-kcast", "none")):
+        matrix = ScenarioMatrix(topologies=(topology,))
+        cell = ScenarioCell("eesmr", fault, "ble", topology)
+        assert matrix.cell_feasibility(cell) is None
+        outcome = matrix.run_cell(cell)
+        assert outcome.ok, f"{cell.label()}: {[r.detail for r in outcome.violations()]}"
+
+
+def test_random_kcast_cells_deterministic_per_seed():
+    matrix = ScenarioMatrix(topologies=("random-kcast",), edges_per_node=2)
+    cell = ScenarioCell("eesmr", "none", "ble", "random-kcast")
+    first = matrix.run_cell(cell)
+    second = matrix.run_cell(cell)
+    assert first.evidence.trace.fingerprint() == second.evidence.trace.fingerprint()
+
+
+def test_composed_fault_cell_passes_with_degraded_window_liveness():
+    """equivocate+drop-window: recovery runs through the degraded window and
+    the drop node — which keeps receiving — is still held to full liveness."""
+    matrix = ScenarioMatrix()
+    outcome = matrix.run_cell(ScenarioCell("eesmr", "equivocate+drop-window", "ble"))
+    assert outcome.ok, [r.detail for r in outcome.violations()]
+    drop_node = matrix.n - 2
+    assert outcome.evidence.trace.committed_heights[drop_node] >= matrix.target_height
+
+
 @pytest.mark.matrix
 def test_full_default_matrix_36_cells():
     """The canonical 4 protocols × 3 faults × 3 media sweep."""
@@ -97,8 +211,14 @@ def test_full_default_matrix_36_cells():
 
 @pytest.mark.matrix
 def test_extended_matrix_every_fault_in_the_library():
+    """Every library entry (composed schedules included) on every protocol
+    and medium; infeasible (topology, fault) pairs are skipped with reasons."""
     report = ScenarioMatrix(fault_names=ALL_FAULTS).run()
-    assert report.cells_run == len(PROTOCOLS) * len(ALL_FAULTS) * len(MEDIA)
+    total = len(PROTOCOLS) * len(ALL_FAULTS) * len(MEDIA)
+    assert report.cells_run + report.cells_skipped == total
+    assert report.cells_run >= total - len(MEDIA) * (len(PROTOCOLS) - 1)
+    for skip in report.skipped:
+        assert skip.reason  # every skip is explained
     report.assert_clean()
 
 
@@ -110,9 +230,80 @@ def test_matrix_on_fully_connected_topology():
 
 
 @pytest.mark.matrix
+def test_matrix_on_star_topology():
+    """The star axis: every protocol floods through the relay hub."""
+    report = ScenarioMatrix(topologies=("star",), fault_names=ALL_FAULTS, media=("ble",)).run()
+    assert report.cells_run >= 40
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_matrix_on_random_kcast_topology():
+    """The seeded random-hypergraph axis, dense enough to tolerate faults."""
+    report = ScenarioMatrix(
+        topologies=("random-kcast",), edges_per_node=2, k=3, media=("ble",),
+        fault_names=DEFAULT_FAULTS + ("crash-leader+silent-relay", "stacked-drop-windows"),
+    ).run()
+    assert report.cells_run >= 16
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_matrix_composed_faults_across_topologies():
+    """The f>1 slice swept over three topology axes at once."""
+    report = ScenarioMatrix(
+        fault_names=COMPOSED_FAULTS,
+        media=("ble",),
+        topologies=("ring-kcast", "fully-connected", "star"),
+        k=2,
+    ).run()
+    total = len(PROTOCOLS) * len(COMPOSED_FAULTS) * 3
+    assert report.cells_run + report.cells_skipped == total
+    # two-crashes is infeasible on the k=2 ring for the quorum protocols
+    # but runs everywhere else.
+    assert 0 < report.cells_skipped < total / 2
+    report.assert_clean()
+
+
+@pytest.mark.matrix
 @pytest.mark.slow
 def test_matrix_at_larger_scale():
     """n=7, f=2 — a second operating point of the feasibility analysis."""
     report = ScenarioMatrix(n=7, f=2, k=3, seed=41).run()
     assert report.cells_run == 36
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_matrix_large_n_operating_point():
+    """n=40 cells — the larger operating points the PR-2 speedups paid for."""
+    report = ScenarioMatrix(
+        protocols=("eesmr", "sync-hotstuff"),
+        fault_names=("none", "crash-leader+silent-relay", "stacked-drop-windows"),
+        media=("ble",),
+        n=40,
+        f=2,
+        k=4,
+        target_height=2,
+        seed=11,
+    ).run()
+    assert report.cells_run == 6
+    report.assert_clean()
+
+
+@pytest.mark.matrix
+def test_matrix_large_n_random_kcast():
+    """A second n=40 point on the seeded random-hypergraph axis."""
+    report = ScenarioMatrix(
+        protocols=("eesmr",),
+        fault_names=("none", "crash-leader"),
+        media=("ble",),
+        topologies=("random-kcast",),
+        n=40,
+        k=4,
+        edges_per_node=2,
+        target_height=2,
+        seed=11,
+    ).run()
+    assert report.cells_run == 2
     report.assert_clean()
