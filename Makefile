@@ -2,10 +2,18 @@
 #
 #   make test-fast    tier-1: everything except the opt-in sweeps (~15s)
 #   make test-matrix  the exhaustive scenario-matrix sweeps (+ slow cells)
+#                     (REPRO_MATRIX_PARALLEL=N shards every matrix sweep's
+#                     cells over N worker processes; results are
+#                     byte-identical to serial runs)
 #   make test-all     both of the above
 #   make bench        full hot-path benchmark suite -> BENCH_hotpath.json
-#                     (exits non-zero if a speedup gate regresses)
+#                     (exits non-zero if a speedup gate regresses; the
+#                     tracked JSON is only rewritten when gate verdicts or
+#                     the benchmark roster change — fresh samples go to the
+#                     untracked BENCH_hotpath.latest.json)
 #   make bench-smoke  quick end-to-end check of the benchmark harness
+#   make bench-gate   validate gates.*.passed in the committed
+#                     BENCH_hotpath.json without running benchmarks
 #
 # The default pytest run (pytest.ini addopts) equals test-fast; the matrix
 # sweeps are the opt-in CI job every scale/perf PR should also run.
@@ -13,7 +21,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all bench bench-smoke
+.PHONY: test-fast test-matrix test-all bench bench-smoke bench-gate
 
 test-fast:
 	$(PYTEST) -x -q
@@ -28,3 +36,6 @@ bench:
 
 bench-smoke:
 	$(PYTEST) -q -m bench tests/perf
+
+bench-gate:
+	$(PYTHON) -m repro.perf --gate-check

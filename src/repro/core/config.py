@@ -8,15 +8,27 @@ from typing import Callable, Optional
 from repro.core.types import FIRST_VIEW, NodeId, View
 
 
+@dataclass(frozen=True)
+class RoundRobinLeader:
+    """The default ``Leader(v)`` function: round-robin over the n nodes.
+
+    A callable value object rather than a closure so that configs (and
+    everything holding one — run results, scenario-cell outcomes) can
+    cross process boundaries: the parallel scenario matrix pickles cell
+    outcomes back from its worker processes.
+    """
+
+    n: int
+
+    def __call__(self, view: View) -> NodeId:
+        return (view - FIRST_VIEW) % self.n
+
+
 def round_robin_leader(n: int) -> Callable[[View], NodeId]:
-    """The default ``Leader(v)`` function: round-robin over the n nodes."""
+    """Build the default round-robin leader schedule."""
     if n <= 0:
         raise ValueError("n must be positive")
-
-    def leader(view: View) -> NodeId:
-        return (view - FIRST_VIEW) % n
-
-    return leader
+    return RoundRobinLeader(n)
 
 
 @dataclass

@@ -9,6 +9,7 @@ from repro.net.topology import (
     random_kcast_topology,
 )
 from repro.net.network import (
+    DisseminationPlan,
     SimulatedNetwork,
     NetworkStats,
     default_wire_size,
@@ -22,6 +23,7 @@ __all__ = [
     "unicast_ring_topology",
     "star_topology",
     "random_kcast_topology",
+    "DisseminationPlan",
     "SimulatedNetwork",
     "NetworkStats",
     "default_wire_size",

@@ -102,8 +102,19 @@ class Hypergraph:
         self.invalidate_topology_cache()
 
     def invalidate_topology_cache(self) -> None:
-        """Drop the adjacency index (call after mutating ``edges`` directly)."""
+        """Drop the adjacency index (call after mutating ``edges`` directly).
+
+        Also bumps :attr:`topology_version`, which consumers holding
+        structures compiled from the adjacency (the network's dissemination
+        plans) compare to detect mutation.
+        """
         self.__dict__.pop("_out_index", None)
+        self.__dict__["_topology_version"] = self.topology_version + 1
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped on every edge mutation."""
+        return self.__dict__.get("_topology_version", 0)
 
     # ------------------------------------------------------------- topology
     def out_edges(self, node: int) -> Sequence[HyperEdge]:

@@ -48,6 +48,41 @@ def _never_relay(_origin: int, _message: Any) -> bool:
     return False
 
 
+class DisseminationPlan:
+    """A compiled flood plan: the per-hop path as flat lookup structures.
+
+    Relaying a flood hop is a pure function of the (topology, relay-policy,
+    partition) state and the message's wire size — none of which change
+    between fault-window transitions.  The plan precomputes, per node:
+
+    * whether the node relays at all (``True`` / ``False``), or ``None``
+      with the custom policy callable to consult per flood (policies may
+      inspect the message, so they cannot be folded into the plan);
+    * the node's energy meter handle;
+    * one record per outgoing hyper-edge: the radio cost object for this
+      plan's wire size, the partition-filtered sorted receiver tuple, and
+      the pre-rendered trace detail string.
+
+    Executing the plan touches O(1) precompiled state per hop instead of
+    re-querying the topology index, relay-policy dict, partition set,
+    radio-cost memo and meter cache.  Plans are validated against the
+    network's state epoch (and the hypergraph's topology version) at every
+    relay, so the rare fault-window transitions that mutate policy or
+    partition state invalidate them exactly where the uncompiled path
+    would have observed the new state — traces stay byte-identical.
+    """
+
+    __slots__ = ("state_epoch", "topology_version", "size", "nodes")
+
+    def __init__(self, state_epoch: int, topology_version: int, size: int, nodes: dict) -> None:
+        self.state_epoch = state_epoch
+        self.topology_version = topology_version
+        self.size = size
+        #: pid -> (relays, policy, meter, edge records); partitioned nodes
+        #: are absent (they neither relay nor receive).
+        self.nodes = nodes
+
+
 def default_wire_size(message: Any) -> int:
     """Wire size of a message in bytes.
 
@@ -85,6 +120,13 @@ class NetworkStats:
 class SimulatedNetwork:
     """Flooding network over a hypergraph with energy accounting.
 
+    Floods execute through compiled :class:`DisseminationPlan` objects by
+    default (``use_compiled_plans``): the per-hop relay path reads flat
+    precompiled records instead of re-querying the topology index, relay
+    policies and partition set, and plans are invalidated by the (rare)
+    fault-window transitions that mutate that state — behaviour and traces
+    are byte-identical to the uncompiled path.
+
     Flood bookkeeping is garbage collected: the per-flood dedup sets
     (``_relayed`` / ``_delivered`` / ``_single_hop``) are retired as soon as
     a flood has no receptions left in flight, so long runs hold state for
@@ -109,6 +151,9 @@ class SimulatedNetwork:
     #: the seed's per-hop costs.
     gc_floods = True
     use_edge_caches = True
+    #: Execute floods through compiled :class:`DisseminationPlan` objects
+    #: instead of re-querying topology/policy/partition state per hop.
+    use_compiled_plans = True
     #: When ``True``, trace labels and energy details are built eagerly even
     #: if nothing consumes them (seed behaviour; legacy mode only).
     eager_annotations = False
@@ -164,6 +209,12 @@ class SimulatedNetwork:
         # pid -> meter: skips the ledger's lazy-create indirection on the
         # two-charges-per-reception hot path.
         self._meter_cache: Dict[int, Any] = {}
+        # Compiled dissemination plans, keyed by wire size.  Bumping
+        # ``_state_epoch`` (any relay-policy or partition mutation)
+        # invalidates every cached plan; the hypergraph's own
+        # ``topology_version`` covers edge mutations.
+        self._plans: Dict[int, DisseminationPlan] = {}
+        self._state_epoch = 0
 
     # ---------------------------------------------------------- registration
     def register(self, process: Process) -> None:
@@ -185,6 +236,7 @@ class SimulatedNetwork:
             self._relay_denial_saved[pid] = policy
         else:
             self.relay_policies[pid] = policy
+        self.invalidate_plans()
 
     def deny_relay(self, pid: int) -> None:
         """Push one refcounted relay denial onto ``pid``.
@@ -199,6 +251,7 @@ class SimulatedNetwork:
             self._relay_denial_saved[pid] = self.relay_policies.get(pid)
             self.relay_policies[pid] = _never_relay
         self._relay_denial_depth[pid] = depth + 1
+        self.invalidate_plans()
 
     def allow_relay(self, pid: int) -> None:
         """Pop one relay denial; restores the base policy at depth zero.
@@ -218,6 +271,7 @@ class SimulatedNetwork:
                 self.relay_policies[pid] = previous
         else:
             self._relay_denial_depth[pid] = depth - 1
+        self.invalidate_plans()
 
     def isolate(self, pid: int) -> None:
         """Disconnect a node (failure injection helper).
@@ -227,6 +281,7 @@ class SimulatedNetwork:
         node cannot heal it early.
         """
         self._partition[pid] = self._partition.get(pid, 0) + 1
+        self.invalidate_plans()
 
     def reconnect(self, pid: int) -> None:
         """Undo one :meth:`isolate`; the node rejoins at depth zero.
@@ -238,6 +293,16 @@ class SimulatedNetwork:
             self._partition.pop(pid, None)
         else:
             self._partition[pid] = depth - 1
+        self.invalidate_plans()
+
+    def invalidate_plans(self) -> None:
+        """Invalidate every compiled dissemination plan.
+
+        Called automatically by the relay-policy and partition mutators;
+        cheap (one integer bump), so fault windows pay nothing beyond the
+        recompile their first post-transition flood hop triggers.
+        """
+        self._state_epoch += 1
 
     # -------------------------------------------------------------- timing
     def _hop_latency(self) -> float:
@@ -266,10 +331,106 @@ class SimulatedNetwork:
         self.stats.broadcasts += 1
         # Local delivery to the origin (no radio energy).
         self._deliver(flood_id, origin, origin, message, local=True)
-        size = default_wire_size(message) if self.use_edge_caches else None
-        self._relay_from(flood_id, origin, origin, message, size)
+        if self.use_compiled_plans:
+            size = default_wire_size(message)
+            self._plan_relay(self._plan_for(size), flood_id, origin, origin, message)
+        else:
+            size = default_wire_size(message) if self.use_edge_caches else None
+            self._relay_from(flood_id, origin, origin, message, size)
         self._maybe_retire_flood(flood_id)
         return flood_id
+
+    # ------------------------------------------------------- compiled plans
+    def _plan_for(self, size: int) -> DisseminationPlan:
+        """The current compiled plan for ``size``-byte floods.
+
+        Stale cached plans (state epoch or topology version moved) are
+        discarded wholesale; compilation is O(nodes + edges) and happens
+        once per (fault-window epoch, wire size).
+        """
+        state_epoch = self._state_epoch
+        topology_version = self.hypergraph.topology_version
+        plan = self._plans.get(size)
+        if (
+            plan is not None
+            and plan.state_epoch == state_epoch
+            and plan.topology_version == topology_version
+        ):
+            return plan
+        plan = self._compile_plan(size, state_epoch, topology_version)
+        if size in self._plans or len(self._plans) < 1024:
+            self._plans[size] = plan
+        return plan
+
+    def _compile_plan(
+        self, size: int, state_epoch: int, topology_version: int
+    ) -> DisseminationPlan:
+        partition = self._partition
+        nodes: Dict[int, tuple] = {}
+        for node in self.hypergraph.nodes:
+            if node in partition:
+                continue
+            policy = self.relay_policies.get(node)
+            if policy is None:
+                relays: Optional[bool] = True
+            elif policy is _never_relay:
+                relays = False
+            else:
+                relays = None  # message-dependent: consult at flood time
+            edges = []
+            for edge in self.hypergraph.out_edges(node):
+                k = edge.degree
+                cost = self._kcast_cost(size, k)
+                receivers = tuple(
+                    r for r in edge.receivers_sorted if r not in partition
+                )
+                edges.append((cost, receivers, f"kcast k={k} {size}B"))
+            nodes[node] = (relays, policy, self._meter(node), tuple(edges))
+        return DisseminationPlan(state_epoch, topology_version, size, nodes)
+
+    def _plan_relay(
+        self, plan: DisseminationPlan, flood_id: int, node: int, origin: int, message: Any
+    ) -> None:
+        """Relay one flood hop through a compiled plan.
+
+        Mirrors :meth:`_relay_from` exactly — same dedup bookkeeping, same
+        charge/latency/schedule order — but against precompiled state.  The
+        plan is revalidated here (one epoch compare per hop) so fault
+        transitions that fired since compilation are observed at the same
+        point the uncompiled path would re-read the mutated dicts.
+        """
+        if (
+            plan.state_epoch != self._state_epoch
+            or plan.topology_version != self.hypergraph.topology_version
+        ):
+            plan = self._plan_for(plan.size)
+        record = plan.nodes.get(node)
+        if record is None:  # partitioned at plan-compile time
+            return
+        relayed = self._relayed[flood_id]
+        if node in relayed:
+            return
+        relays, policy, meter, edges = record
+        if node != origin and (
+            relays is False or (relays is None and not policy(origin, message))
+        ):
+            relayed.add(node)
+            return
+        relayed.add(node)
+        size = plan.size
+        sim_now = self.sim.now
+        tracing = meter.trace_enabled or self.eager_annotations
+        stats = self.stats
+        for cost, receivers, detail in edges:
+            meter.charge_transmit(
+                cost.sender_energy_j, sim_now, detail=detail if tracing else ""
+            )
+            stats.record_transmission(node, size)
+            latency = self._hop_latency()
+            for receiver in receivers:
+                self._schedule_reception(
+                    flood_id, node, receiver, origin, message, cost, latency, size, plan
+                )
 
     def _maybe_retire_flood(self, flood_id: int) -> None:
         """Drop a flood's dedup state once no receptions remain in flight."""
@@ -369,6 +530,7 @@ class SimulatedNetwork:
         cost,
         latency: float,
         size: Optional[int] = None,
+        plan: Optional[DisseminationPlan] = None,
     ) -> None:
         def arrive() -> None:
             delivered = self._delivered.get(flood_id)
@@ -388,7 +550,10 @@ class SimulatedNetwork:
                 meter.charge_receive(cost.per_receiver_energy_j, self.sim.now, detail=detail)
             if not already_delivered:
                 self._deliver(flood_id, origin, receiver, message)
-                self._relay_from(flood_id, receiver, origin, message, size)
+                if plan is not None:
+                    self._plan_relay(plan, flood_id, receiver, origin, message)
+                else:
+                    self._relay_from(flood_id, receiver, origin, message, size)
             if self.gc_floods:
                 remaining = self._in_flight.get(flood_id)
                 if remaining is not None:

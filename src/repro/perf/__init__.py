@@ -12,6 +12,7 @@ from repro.perf.benchmarks import (
     bench_event_throughput,
     bench_flood_fanout,
     bench_flood_scaling,
+    bench_matrix_wall_clock,
 )
 from repro.perf.counters import StageTimer, collect_cache_stats, time_repeats
 from repro.perf.legacy import LegacyEventQueue, legacy_mode
@@ -29,6 +30,7 @@ __all__ = [
     "bench_event_throughput",
     "bench_flood_fanout",
     "bench_flood_scaling",
+    "bench_matrix_wall_clock",
     "collect_cache_stats",
     "legacy_mode",
     "run_hotpath_suite",

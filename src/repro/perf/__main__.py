@@ -1,12 +1,46 @@
-"""CLI entry point: ``python -m repro.perf [--quick] [--out DIR]``."""
+"""CLI entry point: ``python -m repro.perf [--quick] [--gate-check] [--out DIR]``."""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.perf.report import SPEEDUP_GATES, run_hotpath_suite
+
+
+def check_gates(path: Path) -> int:
+    """Validate ``gates.*.passed`` in an existing report; 0 iff all pass.
+
+    CI's ``bench-gate`` step runs this against the committed
+    ``BENCH_hotpath.json`` so a regressed (or hand-edited) perf trajectory
+    fails the build without re-running the full benchmark suite.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"gate check: {path} does not exist (run `make bench` first)")
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"gate check: {path} is not valid JSON: {error}")
+        return 1
+    gates = payload.get("gates", {})
+    if not gates:
+        print(f"gate check: {path} has no gates section")
+        return 1
+    failed = []
+    for name, verdict in sorted(gates.items()):
+        ok = bool(verdict.get("passed"))
+        floor = verdict.get("floor", "?")
+        print(f"  gate {name}: floor {floor}x: {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"gate check: {len(failed)} gate(s) failing: {', '.join(failed)}")
+        return 1
+    print("gate check: all gates pass")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -20,32 +54,48 @@ def main(argv: list[str] | None = None) -> int:
         help="smoke-test scale (fast; numbers not meaningful against the gates)",
     )
     parser.add_argument(
+        "--gate-check",
+        action="store_true",
+        help="check gates in the existing BENCH_hotpath.json and exit "
+        "(no benchmarks are run)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path.cwd(),
-        help="directory to write BENCH_hotpath.json into (default: cwd)",
+        help="directory to write/read BENCH_hotpath.json (default: cwd)",
     )
     args = parser.parse_args(argv)
+
+    if args.gate_check:
+        return check_gates(args.out / "BENCH_hotpath.json")
 
     report = run_hotpath_suite(quick=args.quick)
     path = report.write(args.out)
 
-    print(f"wrote {path}")
+    if report.last_write_updated_tracked:
+        print(f"wrote {path}")
+    else:
+        print(
+            f"{path} unchanged (stable signature identical); "
+            f"fresh samples in {path.with_suffix('.latest.json').name}"
+        )
     for entry in report.entries:
         print(
             f"  {entry.name}: {entry.before_s:.4f}s -> {entry.after_s:.4f}s "
             f"({entry.speedup:.2f}x, {entry.metric})"
         )
     if not args.quick:
-        gates = report.gates_passed()
-        for name, ok in sorted(gates.items()):
+        gates = report.gates_detail()
+        for name, verdict in sorted(gates.items()):
             entry = report.entry(name)
             actual = f"{entry.speedup:.2f}x" if entry is not None else "n/a"
+            note = f" ({verdict['note']})" if "note" in verdict else ""
             print(
                 f"  gate {name}: floor {SPEEDUP_GATES[name]:.1f}x, "
-                f"actual {actual}: {'PASS' if ok else 'FAIL'}"
+                f"actual {actual}: {'PASS' if verdict['passed'] else 'FAIL'}{note}"
             )
-        if not all(gates.values()):
+        if not all(verdict["passed"] for verdict in gates.values()):
             return 1
     return 0
 

@@ -1,13 +1,17 @@
 """Micro and macro benchmark runners for the simulator hot paths.
 
-Three benchmarks cover the three layers the hot-path pass optimizes:
+Four benchmarks cover the layers the hot-path passes optimize:
 
-* :func:`bench_event_throughput` — the event loop alone (tuple-keyed heap
-  vs. dataclass rich comparisons);
+* :func:`bench_event_throughput` — the event loop alone (bucketed
+  calendar queue / tuple-keyed heap vs. dataclass rich comparisons);
 * :func:`bench_flood_fanout` — hypergraph flooding with an application
-  payload (flyweight wire sizing, adjacency cache, flood-state GC);
+  payload (compiled dissemination plans, flyweight wire sizing, adjacency
+  cache, flood-state GC); run at both the n=40 and n=100 operating points;
 * :func:`bench_eesmr_steady_state` — a full EESMR run through the protocol
-  runner (signature memoization, message digests, everything combined).
+  runner (signature memoization, message digests, everything combined);
+* :func:`bench_matrix_wall_clock` — a scenario-matrix sweep end to end,
+  comparing serial execution against the sharded
+  ``ScenarioMatrix.run(parallel=N)`` process pool.
 
 Every benchmark builds its world from scratch per sample and resets the
 process-wide caches first, so samples are independent and "after" numbers
@@ -16,6 +20,7 @@ never ride on state warmed by a previous run.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -98,6 +103,20 @@ def _reset_caches() -> None:
     canonical_cache.clear()
 
 
+def usable_cpus() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    The ``matrix_wall_clock`` gate compares serial against sharded
+    execution, which is only a meaningful measurement when the host can
+    schedule the workers concurrently; the report records this next to
+    the measurement so single-core hosts are visible in the artifact.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 # ------------------------------------------------------------------- micro
 def bench_event_throughput(n_events: int = 100_000, repeats: int = 3) -> BenchResult:
     """Schedule-and-run ``n_events`` through a fresh simulator."""
@@ -134,12 +153,15 @@ def bench_flood_fanout(
     medium: str = "ble",
     repeats: int = 3,
     seed: int = 11,
+    name: str = "flood_fanout",
 ) -> BenchResult:
     """Flood ``floods`` application payloads across an n-node k-cast ring.
 
     Every correct node relays each flood exactly once, so one broadcast is
     O(n·d) physical transmissions — and, before the flyweight pass, O(n·d)
-    canonical serializations of the same payload.
+    canonical serializations of the same payload.  ``name`` distinguishes
+    operating points in the report (``flood_fanout_n100`` is the gated
+    n≥100 point).
     """
     body = "m" * payload_bytes
 
@@ -174,7 +196,7 @@ def bench_flood_fanout(
 
     samples = time_repeats(run_once, repeats)
     return BenchResult(
-        name="flood_fanout",
+        name=name,
         params={
             "n": n,
             "floods": floods,
@@ -239,13 +261,78 @@ def bench_eesmr_steady_state(
 
 
 def bench_flood_scaling(
-    sizes: tuple = (8, 16, 40, 80),
+    sizes: tuple = (8, 16, 40, 80, 100),
     floods: int = 20,
     payload_bytes: int = 1024,
     repeats: int = 2,
 ) -> List[BenchResult]:
-    """Flood fan-out across the ROADMAP's operating points n ∈ {8,16,40,80}."""
+    """Flood fan-out across the ROADMAP's operating points n ∈ {8,…,100}."""
     return [
         bench_flood_fanout(n=n, floods=floods, payload_bytes=payload_bytes, repeats=repeats)
         for n in sizes
     ]
+
+
+def bench_matrix_wall_clock(
+    parallel: int = 1,
+    protocols: tuple = ("eesmr", "sync-hotstuff", "optsync", "trusted-baseline"),
+    fault_names: tuple = ("none", "crash-leader", "equivocate-leader"),
+    media: tuple = ("ble", "wifi", "4g-lte"),
+    n: int = 7,
+    f: int = 2,
+    k: int = 3,
+    target_height: int = 3,
+    seed: int = 41,
+    repeats: int = 2,
+) -> BenchResult:
+    """Run a scenario-matrix sweep end to end at a given parallelism.
+
+    Cells are independent seeded runs, so ``ScenarioMatrix.run(parallel=N)``
+    shards them over a process pool; this benchmark measures the whole
+    sweep's wall clock (including the pool spin-up and result pickling the
+    sharding pays for), which is what the n≥100 matrix growth direction is
+    bound by.  Invariants and differential checks stay enabled — a sweep
+    that skipped verification would not be measuring the real workload.
+    """
+    from repro.testkit.scenarios import ScenarioMatrix
+
+    cells_run: List[int] = []
+
+    def run_once() -> None:
+        _reset_caches()
+        matrix = ScenarioMatrix(
+            protocols=protocols,
+            fault_names=fault_names,
+            media=media,
+            n=n,
+            f=f,
+            k=k,
+            target_height=target_height,
+            seed=seed,
+        )
+        report = matrix.run(parallel=parallel)
+        if not report.ok:
+            raise RuntimeError(
+                f"matrix benchmark failed invariants: {report.failures()[:3]}"
+            )
+        cells_run.append(report.cells_run)
+
+    samples = time_repeats(run_once, repeats)
+    return BenchResult(
+        name="matrix_wall_clock",
+        params={
+            "parallel": parallel,
+            "cpus": usable_cpus(),
+            "protocols": list(protocols),
+            "fault_names": list(fault_names),
+            "media": list(media),
+            "n": n,
+            "f": f,
+            "k": k,
+            "target_height": target_height,
+            "seed": seed,
+        },
+        samples_s=samples,
+        metric_name="cells/s",
+        work_units=cells_run[0] if cells_run else 0,
+    )

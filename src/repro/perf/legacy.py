@@ -126,6 +126,7 @@ def legacy_mode() -> Iterator[None]:
         Hypergraph.cache_topology,
         SimulatedNetwork.gc_floods,
         SimulatedNetwork.use_edge_caches,
+        SimulatedNetwork.use_compiled_plans,
         SimulatedNetwork.eager_annotations,
         Simulator.queue_factory,
     )
@@ -135,6 +136,7 @@ def legacy_mode() -> Iterator[None]:
     Hypergraph.cache_topology = False
     SimulatedNetwork.gc_floods = False
     SimulatedNetwork.use_edge_caches = False
+    SimulatedNetwork.use_compiled_plans = False
     SimulatedNetwork.eager_annotations = True
     Simulator.queue_factory = LegacyEventQueue
     _messages.set_flyweight_enabled(False)
@@ -147,6 +149,7 @@ def legacy_mode() -> Iterator[None]:
             Hypergraph.cache_topology,
             SimulatedNetwork.gc_floods,
             SimulatedNetwork.use_edge_caches,
+            SimulatedNetwork.use_compiled_plans,
             SimulatedNetwork.eager_annotations,
             Simulator.queue_factory,
         ) = saved

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import BucketedEventQueue, Event, EventQueue
 
 
 class SimulationError(RuntimeError):
@@ -28,9 +28,12 @@ class Simulator:
             by the integration tests to assert protocol phase ordering.
     """
 
-    #: Factory for the backing queue; the perf harness swaps in a legacy
+    #: Factory for the backing queue.  The default is the two-tier bucketed
+    #: calendar queue; :class:`~repro.sim.events.EventQueue` (single binary
+    #: heap) remains selectable and both are pinned byte-identical by the
+    #: golden-fingerprint tests.  The perf harness swaps in a legacy
     #: implementation to measure the seed's event-loop overhead.
-    queue_factory = EventQueue
+    queue_factory = BucketedEventQueue
 
     def __init__(self, trace: bool = False) -> None:
         self._queue = self.queue_factory()
@@ -86,7 +89,17 @@ class Simulator:
         return self._queue.push(self._now + delay, callback, priority, label)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event."""
+        """Cancel a previously scheduled event.
+
+        Follows drain-reinsertion aliases: when a selective :meth:`drain`
+        had to rebuild the queue by re-pushing survivors (queues without
+        ``remove_where``), the caller's original handle forwards to its
+        replacement, so cancelling through a stale handle still works.
+        """
+        successor = getattr(event, "_drain_successor", None)
+        while successor is not None:
+            event = successor
+            successor = getattr(event, "_drain_successor", None)
         self._queue.cancel(event)
 
     # --------------------------------------------------------------- running
@@ -120,30 +133,67 @@ class Simulator:
             max_events: Safety valve for runaway protocols; raises
                 :class:`SimulationError` when exceeded.
         """
+        if until is not None:
+            self.run_until(until, max_events=max_events)
+            return
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed_here = 0
         try:
-            while True:
-                if until is not None:
-                    # Peek only when a time bound needs checking; the
-                    # unbounded loop (run_until_idle, the hot case) goes
-                    # straight to the pop inside step().
-                    next_time = self._queue.peek_time()
-                    if next_time is None or next_time > until:
-                        break
-                if not self.step():
-                    break
+            # The unbounded loop (run_until_idle, the hot case) goes
+            # straight to the pop inside step() — no peek per event.
+            while self.step():
                 executed_here += 1
                 if max_events is not None and executed_here > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
-            if until is not None and until > self._now:
-                self._now = until
         finally:
             self._running = False
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> int:
+        """Run every event scheduled at or before ``deadline``; returns the count.
+
+        The time-bounded fast path: one peek/pop pair per event on locally
+        bound queue methods, with no per-event property reads or
+        ``step()``-call indirection.  The clock is advanced to ``deadline``
+        when the queue drains (or holds only later events), exactly like
+        ``run(until=deadline)`` — which delegates here.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed_here = 0
+        queue = self._queue
+        peek = queue.peek_time
+        pop = queue.pop
+        try:
+            while True:
+                next_time = peek()
+                if next_time is None or next_time > deadline:
+                    break
+                event = pop()
+                if event.time < self._now:
+                    raise SimulationError("event queue returned an event from the past")
+                self._now = event.time
+                self._executed += 1
+                if self.trace_enabled:
+                    label = event.label
+                    if callable(label):
+                        label = label()
+                    self.trace_log.append((self._now, label))
+                event.callback()
+                executed_here += 1
+                if max_events is not None and executed_here > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if deadline > self._now:
+                self._now = deadline
+        finally:
+            self._running = False
+        return executed_here
 
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
         """Run until no events remain (bounded by ``max_events``)."""
@@ -166,7 +216,11 @@ class Simulator:
             return self._queue.remove_where(lambda event: event.resolved_label() in wanted)
         # Fallback for queue implementations without in-place removal
         # (e.g. the perf harness's legacy queue): pop everything and
-        # re-insert survivors under their original ordering keys.
+        # re-insert survivors under their original ordering keys.  Each
+        # survivor's old handle forwards to its replacement so a later
+        # cancel() through the stale handle still stops the event —
+        # otherwise a cancelled-after-drain event would fire anyway and
+        # inflate ``executed_events``.
         survivors: list[Event] = []
         removed = 0
         while True:
@@ -179,5 +233,9 @@ class Simulator:
                 continue
             survivors.append(event)
         for event in sorted(survivors, key=lambda e: (e.time, e.priority, e.seq)):
-            self._queue.push(event.time, event.callback, event.priority, event.label)
+            replacement = self._queue.push(event.time, event.callback, event.priority, event.label)
+            try:
+                event._drain_successor = replacement
+            except AttributeError:  # handle types with __slots__
+                pass
         return removed

@@ -37,6 +37,8 @@ assumption.  Skips are recorded on the :class:`MatrixReport`.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -359,22 +361,50 @@ class ScenarioMatrix:
         outcome.reports = [invariant.run(evidence) for invariant in self.invariants]
         return outcome
 
-    def run(self) -> MatrixReport:
+    def run(self, parallel: Optional[int] = None) -> MatrixReport:
         """Run every feasible cell, then apply the differential checks.
 
         Infeasible (topology, fault) cells — including cells whose
         topology cannot be constructed at all — are recorded on
         ``report.skipped`` with an explanatory reason instead of being run
         and spuriously failed.
+
+        Args:
+            parallel: Number of worker processes.  ``None`` reads the
+                ``REPRO_MATRIX_PARALLEL`` environment variable (defaulting
+                to 1); values <= 1 run serially in-process.  Cells are
+                independent seeded runs, so sharding them over a
+                ``ProcessPoolExecutor`` cannot change any cell's result:
+                every worker rebuilds its cell's spec deterministically,
+                and results are merged in the fixed enumeration order
+                (sorted label order within the report accessors), making a
+                parallel report identical to a serial one cell for cell.
+                The differential cross-cell checks run in the parent on
+                the merged outcomes, unchanged.
         """
+        if parallel is None:
+            parallel = int(os.environ.get("REPRO_MATRIX_PARALLEL", "1") or "1")
         report = MatrixReport()
+        runnable: List[Tuple[ScenarioCell, DeploymentSpec]] = []
         for cell in self.cells():
             spec = self.build_spec(cell)
             reason = self.cell_feasibility(cell, spec=spec)
             if reason is not None:
                 report.skipped.append(SkippedCell(cell, reason))
                 continue
-            report.outcomes.append(self.run_cell(cell, spec=spec))
+            runnable.append((cell, spec))
+        if parallel <= 1 or len(runnable) <= 1:
+            for cell, spec in runnable:
+                report.outcomes.append(self.run_cell(cell, spec=spec))
+        else:
+            with ProcessPoolExecutor(max_workers=min(parallel, len(runnable))) as pool:
+                futures = [
+                    pool.submit(_run_cell_in_worker, self, cell, spec)
+                    for cell, spec in runnable
+                ]
+                # Collect in submission order — deterministic regardless of
+                # which worker finishes first.
+                report.outcomes.extend(future.result() for future in futures)
         report.differential_failures = self._differential_check(report.outcomes)
         return report
 
@@ -411,6 +441,20 @@ class ScenarioMatrix:
                         f"but {ref_outcome.cell.label()} committed {ref_sequence}"
                     )
         return failures
+
+
+def _run_cell_in_worker(
+    matrix: ScenarioMatrix, cell: ScenarioCell, spec: DeploymentSpec
+) -> CellOutcome:
+    """Run one cell inside a ``ProcessPoolExecutor`` worker.
+
+    Module-level (picklable by reference) on purpose.  The matrix, cell
+    and pre-built spec travel to the worker by pickle; the returned
+    :class:`CellOutcome` — evidence, trace, invariant reports — travels
+    back the same way, so everything it holds must stay picklable (pinned
+    by the parallel-matrix tests).
+    """
+    return matrix.run_cell(cell, spec=spec)
 
 
 def run_default_matrix(**overrides) -> MatrixReport:

@@ -1,0 +1,184 @@
+"""Compiled dissemination plans: caching, invalidation, trace identity.
+
+The plan compiler memoizes the per-hop flood path (out-edges, radio
+costs, relay verdicts, partition-filtered receivers) per (state epoch,
+wire size).  These tests pin the two properties the optimization rides
+on:
+
+* every mutation that the uncompiled path would observe — relay-policy
+  changes, deny/allow windows, partition isolate/heal, topology edge
+  mutation — invalidates the compiled plan;
+* runs driven through compiled plans are byte-identical to the
+  uncompiled path, including when the mutation fires mid-flood-window.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.energy.ledger import ClusterEnergyLedger
+from repro.eval.runner import DeploymentSpec, ProtocolRunner
+from repro.net.hypergraph import HyperEdge
+from repro.net.network import SimulatedNetwork
+from repro.net.topology import ring_kcast_topology
+from repro.sim.rng import SeededRNG
+from repro.sim.scheduler import Simulator
+from repro.testkit.faults import drop_window, partition
+from repro.testkit.trace import TraceRecorder
+
+
+@contextmanager
+def compiled_plans(enabled: bool):
+    saved = SimulatedNetwork.use_compiled_plans
+    SimulatedNetwork.use_compiled_plans = enabled
+    try:
+        yield
+    finally:
+        SimulatedNetwork.use_compiled_plans = saved
+
+
+def build_network(n: int = 6, k: int = 2, seed: int = 3) -> SimulatedNetwork:
+    sim = Simulator()
+    topology = ring_kcast_topology(n, k)
+    ledger = ClusterEnergyLedger(topology.nodes)
+    return SimulatedNetwork(sim, topology, ledger, rng=SeededRNG(seed))
+
+
+# ------------------------------------------------------------ plan caching
+def test_plan_is_cached_per_size_within_an_epoch():
+    network = build_network()
+    first = network._plan_for(128)
+    assert network._plan_for(128) is first
+    assert network._plan_for(256) is not first
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda net: net.set_relay_policy(2, lambda o, m: False),
+        lambda net: net.deny_relay(2),
+        lambda net: net.isolate(2),
+    ],
+    ids=["set_relay_policy", "deny_relay", "isolate"],
+)
+def test_state_mutators_invalidate_the_plan(mutate):
+    network = build_network()
+    stale = network._plan_for(128)
+    mutate(network)
+    fresh = network._plan_for(128)
+    assert fresh is not stale
+    assert fresh.state_epoch > stale.state_epoch
+
+
+def test_deny_and_allow_each_invalidate():
+    network = build_network()
+    baseline = network._plan_for(64)
+    network.deny_relay(4)
+    denied = network._plan_for(64)
+    assert denied is not baseline
+    relays, policy, _meter, _edges = denied.nodes[4]
+    assert relays is False
+    network.allow_relay(4)
+    healed = network._plan_for(64)
+    assert healed is not denied
+    relays, policy, _meter, _edges = healed.nodes[4]
+    assert relays is True
+
+
+def test_partition_and_heal_each_invalidate():
+    network = build_network()
+    baseline = network._plan_for(64)
+    assert 5 in baseline.nodes
+    network.isolate(5)
+    cut = network._plan_for(64)
+    assert cut is not baseline
+    assert 5 not in cut.nodes  # partitioned: neither relays nor receives
+    for _relays, _policy, _meter, edges in cut.nodes.values():
+        for _cost, receivers, _detail in edges:
+            assert 5 not in receivers
+    network.reconnect(5)
+    healed = network._plan_for(64)
+    assert healed is not cut
+    assert 5 in healed.nodes
+
+
+def test_topology_mutation_invalidates_via_topology_version():
+    network = build_network()
+    stale = network._plan_for(64)
+    version = network.hypergraph.topology_version
+    network.hypergraph.add_edge(HyperEdge.make(0, [3]))
+    assert network.hypergraph.topology_version > version
+    fresh = network._plan_for(64)
+    assert fresh is not stale
+    assert len(fresh.nodes[0][3]) == len(stale.nodes[0][3]) + 1
+
+
+def test_dynamic_relay_policies_are_consulted_per_flood():
+    """Message-dependent policies cannot be folded into the plan."""
+    from repro.sim.process import Process
+
+    class Sink(Process):
+        def on_message(self, sender, message):
+            pass
+
+    network = build_network()
+    seen = []
+
+    def picky(origin, message):
+        seen.append(message)
+        return message != "drop-me"
+
+    network.set_relay_policy(3, picky)
+    plan = network._plan_for(64)
+    relays, policy, _meter, _edges = plan.nodes[3]
+    assert relays is None
+    assert policy is picky
+    for pid in network.hypergraph.nodes:
+        network.register(Sink(network.sim, pid))
+    network.broadcast(0, "fine")
+    network.sim.run_until_idle()
+    network.broadcast(0, "drop-me")
+    network.sim.run_until_idle()
+    assert seen == ["fine", "drop-me"]
+
+
+# ----------------------------------------------------- trace byte-identity
+def fingerprint(spec_kwargs):
+    spec = DeploymentSpec(**spec_kwargs)
+    result = ProtocolRunner(recorder=TraceRecorder()).run(spec)
+    return result.trace.fingerprint()
+
+
+BASE = dict(protocol="eesmr", n=5, f=1, k=2, target_height=3, seed=17)
+
+
+@pytest.mark.parametrize(
+    "fault_factory",
+    [
+        lambda: None,
+        # Relay denial opening and lifting mid-run: each transition must
+        # invalidate the plan exactly where the uncompiled path re-reads
+        # the relay-policy dict.
+        lambda: drop_window(3, start=1.0, end=8.0),
+        # Partition cut + heal mid-run: receiver filtering must follow.
+        lambda: partition(4, start=2.0, heal=10.0),
+    ],
+    ids=["fault-free", "relay-drop-window", "partition-heal"],
+)
+def test_compiled_plans_byte_identical_to_uncompiled_path(fault_factory):
+    with compiled_plans(False):
+        uncompiled = fingerprint({**BASE, "fault_schedule": fault_factory()})
+    with compiled_plans(True):
+        compiled = fingerprint({**BASE, "fault_schedule": fault_factory()})
+    assert compiled == uncompiled
+
+
+def test_compiled_plans_byte_identical_on_wifi_and_larger_n():
+    kwargs = dict(
+        protocol="eesmr", n=9, f=2, k=2, target_height=4, seed=99, medium="wifi"
+    )
+    with compiled_plans(False):
+        uncompiled = fingerprint(kwargs)
+    with compiled_plans(True):
+        compiled = fingerprint(kwargs)
+    assert compiled == uncompiled

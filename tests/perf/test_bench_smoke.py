@@ -17,7 +17,13 @@ pytestmark = pytest.mark.bench
 def test_quick_suite_end_to_end(tmp_path):
     report = run_hotpath_suite(quick=True)
     names = [entry.name for entry in report.entries]
-    assert names == ["event_throughput", "flood_fanout", "eesmr_steady_state"]
+    assert names == [
+        "event_throughput",
+        "flood_fanout",
+        "flood_fanout_n100",
+        "eesmr_steady_state",
+        "matrix_wall_clock",
+    ]
     for entry in report.entries:
         assert entry.before_s > 0
         assert entry.after_s > 0
@@ -27,4 +33,6 @@ def test_quick_suite_end_to_end(tmp_path):
     assert payload["report"] == "hotpath"
     assert payload["notes"]["quick"] is True
     assert set(payload["gates"]) == set(SPEEDUP_GATES)
-    assert len(payload["entries"]) == 3
+    assert len(payload["entries"]) == 5
+    # The volatile sidecar is always written alongside the tracked file.
+    assert (tmp_path / "BENCH_hotpath.latest.json").exists()

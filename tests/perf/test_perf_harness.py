@@ -13,7 +13,7 @@ from repro.perf.benchmarks import BenchResult, bench_event_throughput, bench_flo
 from repro.perf.counters import StageTimer, collect_cache_stats
 from repro.perf.legacy import LegacyEventQueue, legacy_mode
 from repro.perf.report import SPEEDUP_GATES, BenchReport
-from repro.sim.events import EventQueue
+from repro.sim.events import BucketedEventQueue, EventQueue
 from repro.sim.scheduler import Simulator
 from repro.testkit.trace import TraceRecorder
 
@@ -61,20 +61,23 @@ def test_legacy_mode_flips_and_restores_every_switch():
     assert SignatureScheme.cache_operations
     assert Hypergraph.cache_topology
     assert SimulatedNetwork.gc_floods
-    assert Simulator.queue_factory is EventQueue
+    assert SimulatedNetwork.use_compiled_plans
+    assert Simulator.queue_factory is BucketedEventQueue
     with legacy_mode():
         assert not canonical_cache.enabled
         assert not SignatureScheme.cache_operations
         assert not Hypergraph.cache_topology
         assert not SimulatedNetwork.gc_floods
+        assert not SimulatedNetwork.use_compiled_plans
         assert SimulatedNetwork.eager_annotations
         assert Simulator.queue_factory is LegacyEventQueue
     assert canonical_cache.enabled
     assert SignatureScheme.cache_operations
     assert Hypergraph.cache_topology
     assert SimulatedNetwork.gc_floods
+    assert SimulatedNetwork.use_compiled_plans
     assert not SimulatedNetwork.eager_annotations
-    assert Simulator.queue_factory is EventQueue
+    assert Simulator.queue_factory is BucketedEventQueue
 
 
 def test_legacy_mode_restores_on_error():
@@ -82,7 +85,7 @@ def test_legacy_mode_restores_on_error():
         with legacy_mode():
             raise RuntimeError("boom")
     assert canonical_cache.enabled
-    assert Simulator.queue_factory is EventQueue
+    assert Simulator.queue_factory is BucketedEventQueue
 
 
 def test_legacy_queue_orders_like_optimized_queue():

@@ -1,0 +1,163 @@
+"""BucketedEventQueue: ordering equivalence, cancellation, tier migration.
+
+The bucketed queue is the simulator's default; its contract is "exactly
+the ``(time, priority, seq)`` total order of :class:`EventQueue`, faster".
+Equivalence is checked structurally here and byte-for-byte at the trace
+level (both queues drive full protocol runs to identical fingerprints).
+"""
+
+import random
+
+import pytest
+
+from repro.eval.runner import DeploymentSpec, ProtocolRunner
+from repro.sim.events import BucketedEventQueue, EventQueue
+from repro.sim.scheduler import Simulator
+from repro.testkit.trace import TraceRecorder
+
+
+def drain_order(queue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        order.append((event.time, event.priority, event.seq))
+
+
+def test_orders_identically_to_the_binary_heap():
+    rng = random.Random(7)
+    jobs = [
+        (round(rng.uniform(0.0, 50.0), 2), rng.choice((-1, 0, 0, 0, 2)))
+        for _ in range(500)
+    ]
+    # Deliberate exact ties: the seq tie-break must decide.
+    jobs += [(5.0, 0)] * 20
+    orders = []
+    for factory in (EventQueue, BucketedEventQueue):
+        queue = factory()
+        for time, priority in jobs:
+            queue.push(time, lambda: None, priority=priority)
+        orders.append(drain_order(queue))
+    assert orders[0] == orders[1]
+    assert orders[0] == sorted(orders[0])
+
+
+def test_interleaved_push_pop_matches_heap():
+    """Pushes landing in the *current* bucket while it drains stay ordered."""
+    rng = random.Random(23)
+    results = []
+    for factory in (EventQueue, BucketedEventQueue):
+        queue = factory()
+        fired = []
+        clock = [0.0]
+
+        def make(tag, t):
+            def cb():
+                clock[0] = t
+                fired.append(tag)
+                if len(fired) < 400:
+                    delta = rng.choice((0.0, 0.1, 0.9, 3.7, 40.0))
+                    queue.push(t + delta, make(f"{tag}/{delta}", t + delta))
+
+            return cb
+
+        rng = random.Random(23)  # same stream for both factories
+        for i in range(10):
+            queue.push(float(i % 4), make(str(i), float(i % 4)))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        results.append(fired)
+    assert results[0] == results[1]
+
+
+def test_far_future_events_cross_the_overflow_heap():
+    queue = BucketedEventQueue()
+    horizon_time = BucketedEventQueue.horizon * BucketedEventQueue.default_width
+    times = [horizon_time * 5, 0.5, horizon_time * 3, horizon_time + 1.0, 2.0]
+    for t in times:
+        queue.push(t, lambda: None)
+    assert len(queue._far) >= 2  # the far-future entries start in overflow
+    assert [event.time for event in iter(queue.pop, None)] == sorted(times)
+
+
+def test_cancel_semantics_match_eventqueue():
+    for factory in (EventQueue, BucketedEventQueue):
+        queue = factory()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(2.0, lambda: None)
+        far = queue.push(10_000.0, lambda: None)
+        queue.cancel(drop)
+        queue.cancel(drop)  # double cancel: no len corruption
+        assert len(queue) == 2
+        popped = queue.pop()
+        assert popped is keep
+        popped.cancel()  # cancel after pop: no len corruption
+        assert len(queue) == 1
+        queue.cancel(far)
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+
+def test_remove_where_preserves_survivor_order():
+    queue = BucketedEventQueue()
+    labels = ["a", "b", "a", "c", "b", "a"]
+    for i, label in enumerate(labels):
+        queue.push(float(i % 2), lambda: None, label=label)
+    queue.push(9_999.0, lambda: None, label="a")  # overflow-tier entry
+    removed = queue.remove_where(lambda event: event.resolved_label() == "a")
+    assert removed == 4
+    assert len(queue) == 3
+    drained = [(event.time, event.resolved_label()) for event in iter(queue.pop, None)]
+    assert drained == [(0.0, "b"), (1.0, "b"), (1.0, "c")]
+
+
+def test_peek_time_skips_cancelled_and_advances_tiers():
+    queue = BucketedEventQueue()
+    first = queue.push(3.0, lambda: None)
+    queue.push(7_000.0, lambda: None)
+    assert queue.peek_time() == 3.0
+    queue.cancel(first)
+    assert queue.peek_time() == 7_000.0
+    assert queue.pop().time == 7_000.0
+    assert queue.peek_time() is None
+
+
+def test_clear_resets_every_tier():
+    queue = BucketedEventQueue()
+    handles = [queue.push(t, lambda: None) for t in (0.1, 5.0, 9_999.0)]
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+    for handle in handles:
+        handle.cancel()  # must not corrupt the emptied queue
+    assert len(queue) == 0
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        BucketedEventQueue().push(-1.0, lambda: None)
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ValueError):
+        BucketedEventQueue(width=0.0)
+
+
+@pytest.mark.parametrize("protocol", ["eesmr", "optsync"])
+def test_full_runs_byte_identical_across_queue_implementations(protocol):
+    """The golden contract: the queue choice is invisible in the trace."""
+    fingerprints = []
+    saved = Simulator.queue_factory
+    try:
+        for factory in (EventQueue, BucketedEventQueue):
+            Simulator.queue_factory = factory
+            spec = DeploymentSpec(protocol=protocol, n=5, f=1, k=2, target_height=3, seed=17)
+            result = ProtocolRunner(recorder=TraceRecorder()).run(spec)
+            fingerprints.append(result.trace.fingerprint())
+    finally:
+        Simulator.queue_factory = saved
+    assert fingerprints[0] == fingerprints[1]

@@ -110,3 +110,125 @@ def test_trace_log_records_labels():
 
 def test_step_returns_false_when_idle():
     assert Simulator().step() is False
+
+
+# ------------------------------------------------------ run_until fast path
+def test_run_until_executes_events_up_to_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.schedule(10.0, lambda: fired.append(10))
+    executed = sim.run_until(5.0)
+    assert executed == 2
+    assert fired == [1, 5]
+    assert sim.now == 5.0
+    sim.run_until_idle()
+    assert fired == [1, 5, 10]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until(9.0)
+    assert sim.now == 9.0
+
+
+def test_run_until_records_trace_labels():
+    sim = Simulator(trace=True)
+    sim.schedule(1.0, lambda: None, label="first")
+    sim.schedule(2.0, lambda: None, label=lambda: "lazy")
+    sim.run_until(3.0)
+    assert sim.trace_log == [(1.0, "first"), (2.0, "lazy")]
+
+
+def test_run_until_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run_until(1.0, max_events=50)
+
+
+def test_run_until_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run_until(5.0)
+        except SimulationError as error:
+            errors.append(error)
+
+    sim.schedule(1.0, reenter)
+    sim.run_until(2.0)
+    assert len(errors) == 1
+
+
+def test_run_with_until_delegates_to_fast_path():
+    """run(until=...) and run_until are the same semantics."""
+    for driver in (lambda s: s.run(until=5.0), lambda s: s.run_until(5.0)):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        driver(sim)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+
+# -------------------------------------- drain bookkeeping and executed count
+def test_executed_events_excludes_drained_events():
+    sim = Simulator(trace=True)
+    sim.schedule(1.0, lambda: None, label="keep")
+    sim.schedule(2.0, lambda: None, label="drop")
+    sim.schedule(3.0, lambda: None, label="keep")
+    assert sim.drain(labels=["drop"]) == 1
+    sim.run_until_idle()
+    assert sim.executed_events == 2
+    assert [label for _, label in sim.trace_log] == ["keep", "keep"]
+
+
+def test_cancel_after_fallback_drain_still_stops_the_event():
+    """Selective drain on a queue without remove_where rebuilds the heap by
+    re-pushing survivors; a cancel through the *original* handle must still
+    stop the replacement — otherwise the cancelled event fires anyway and
+    inflates executed_events (the off-by-one this pins down)."""
+    from repro.perf.legacy import LegacyEventQueue
+
+    saved = Simulator.queue_factory
+    Simulator.queue_factory = LegacyEventQueue
+    try:
+        sim = Simulator()
+        fired = []
+        survivor = sim.schedule(2.0, lambda: fired.append("survivor"), label="keep")
+        sim.schedule(1.0, lambda: fired.append("drained"), label="drop")
+        assert sim.drain(labels=["drop"]) == 1
+        sim.cancel(survivor)
+        sim.run_until_idle()
+        assert fired == []
+        assert sim.executed_events == 0
+    finally:
+        Simulator.queue_factory = saved
+
+
+def test_fallback_drain_preserves_survivor_order():
+    from repro.perf.legacy import LegacyEventQueue
+
+    saved = Simulator.queue_factory
+    Simulator.queue_factory = LegacyEventQueue
+    try:
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"), label="keep")
+        sim.schedule(1.0, lambda: fired.append("b"), label="keep")
+        sim.schedule(1.0, lambda: fired.append("x"), label="drop")
+        sim.schedule(1.0, lambda: fired.append("c"), label="keep")
+        assert sim.drain(labels=["drop"]) == 1
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+    finally:
+        Simulator.queue_factory = saved
