@@ -14,6 +14,9 @@
 #   make bench-smoke  quick end-to-end check of the benchmark harness
 #   make bench-gate   validate gates.*.passed in the committed
 #                     BENCH_hotpath.json without running benchmarks
+#   make lint         ruff over src/tests/examples (critical rules only:
+#                     syntax errors, undefined names, misused f-strings —
+#                     see ruff.toml)
 #
 # The default pytest run (pytest.ini addopts) equals test-fast; the matrix
 # sweeps are the opt-in CI job every scale/perf PR should also run.
@@ -21,10 +24,13 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all bench bench-smoke bench-gate
+.PHONY: test-fast test-matrix test-all bench bench-smoke bench-gate lint
 
 test-fast:
 	$(PYTEST) -x -q
+
+lint:
+	python -m ruff check src tests examples
 
 test-matrix:
 	$(PYTEST) -q -m "matrix or slow" tests/testkit

@@ -14,8 +14,9 @@ compares committed readings, energy per reading and projected battery life.
 Run with:  python examples/farm_sensor_network.py
 """
 
-from repro import DeploymentSpec, FaultPlan, run_protocol
+from repro import DeploymentSpec, FaultPlan, Session
 from repro.eval.workloads import SensorReadingWorkload
+from repro.session import EnergyTimelineObserver
 
 #: A common 18650-class battery for field sensors, in Joules.
 BATTERY_CAPACITY_J = 10_000.0
@@ -38,7 +39,10 @@ def run_field(fault_plan: FaultPlan, label: str) -> None:
         fault_plan=fault_plan,
         seed=2026,
     )
-    result = run_protocol(spec)
+    # The energy-timeline observer samples the cluster ledger at every
+    # commit, giving the per-epoch energy profile battery planning needs.
+    timeline = EnergyTimelineObserver()
+    result = Session.from_spec(spec, observers=[timeline]).run().finish()
 
     per_epoch_mj = result.energy_per_block_mj / max(1, 1)
     per_node_per_epoch_mj = result.energy_per_block_mj / (n_sensors - len(fault_plan.faulty))
@@ -53,6 +57,10 @@ def run_field(fault_plan: FaultPlan, label: str) -> None:
     print(f"energy per epoch per sensor  : {per_node_per_epoch_mj:.1f} mJ")
     print(f"epochs per battery charge    : {epochs_per_battery:,.0f}")
     print(f"(~{epochs_per_battery / 24:.0f} days at one agreement per hour)")
+    first_commit = next((t for t, label, _ in timeline.samples if label.startswith("commit")), None)
+    if first_commit is not None:
+        early = timeline.joules_between(0.0, first_commit)
+        print(f"energy until first agreement : {early * 1000:.1f} mJ (cluster-wide)")
     print()
 
 

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: run EESMR on a simulated CPS cluster and inspect the result.
 
-This is the smallest end-to-end use of the library: build a deployment
-spec, run it, and look at the committed log, the safety report and the
-energy bill — the same quantities the paper's evaluation reports.
+This is the smallest end-to-end use of the library through its one front
+door, the session API: build a deployment spec, open a session, pause it
+mid-run to look at live state, then run to quiescence and collect the
+committed log, the safety report and the energy bill — the same
+quantities the paper's evaluation reports.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import DeploymentSpec, run_protocol
+from repro import DeploymentSpec, Session
 from repro.eval.tables import format_table
 
 
@@ -23,7 +25,17 @@ def main() -> None:
         signature_scheme="rsa-1024",
         seed=42,
     )
-    result = run_protocol(spec)
+    session = Session.from_spec(spec)
+
+    # Pause once the first block commits anywhere and peek at live state —
+    # any point between two events is a valid pause point.
+    session.run_until(pred=lambda s: any(r.committed_height >= 1 for r in s.replicas.values()))
+    live = session.inspect()
+    print(f"paused at t={live['now']:.1f}: heights={live['committed_heights']}, "
+          f"{live['total_joules'] * 1000:.1f} mJ spent so far")
+    print()
+
+    result = session.run().finish()
 
     print("== EESMR quickstart ==")
     print(f"nodes                     : {spec.n} (f = {spec.f}, k = {spec.k})")

@@ -11,8 +11,25 @@ explicit certificates, and the new leader finishes the workload.
 Run with:  python examples/view_change_demo.py
 """
 
-from repro import DeploymentSpec, FaultPlan, run_protocol
+from repro import DeploymentSpec, FaultPlan, Session
 from repro.eval.tables import format_table
+from repro.session import CallbackObserver
+
+
+def run_with_narration(spec: DeploymentSpec):
+    """Run through a session with an observer narrating the protocol story."""
+    observer = CallbackObserver(
+        on_view_change=lambda pid, view, t: print(
+            f"   t={t:6.1f}  node {pid} completes the view change into view {view}"
+        ),
+        on_block_commit=lambda pid, block, view, t: (
+            print(f"   t={t:6.1f}  node {pid} commits height {block.height} (view {view})")
+            if pid == 1  # one narrator node is enough
+            else None
+        ),
+    )
+    session = Session.from_spec(spec, observers=[observer])
+    return session.run().finish()
 
 
 def describe(result, label: str) -> None:
@@ -35,12 +52,12 @@ def describe(result, label: str) -> None:
 
 
 def main() -> None:
-    honest = run_protocol(
+    honest = run_with_narration(
         DeploymentSpec(protocol="eesmr", n=7, f=2, k=3, target_height=4, seed=9)
     )
     describe(honest, "Honest leader: 4 blocks, no view change")
 
-    equivocation = run_protocol(
+    equivocation = run_with_narration(
         DeploymentSpec(
             protocol="eesmr",
             n=7,

@@ -13,7 +13,10 @@ The package is organised by substrate:
 * :mod:`repro.core` — the EESMR protocol and the baselines it is compared
   against (Sync HotStuff, OptSync, trusted control node);
 * :mod:`repro.eval` — experiment runner, workloads and the per-table /
-  per-figure experiment implementations.
+  per-figure experiment implementations;
+* :mod:`repro.session` — the one front door for experiments: staged
+  deployment construction, observer hooks, steppable run control and
+  adaptive adversaries.
 
 Quickstart::
 
@@ -47,6 +50,7 @@ from repro.energy import (
 from repro.eval import DeploymentSpec, ProtocolRunner, RunResult, run_protocol
 from repro.net import Hypergraph, HyperEdge, ring_kcast_topology
 from repro.radio import BleAdvertisementKCast, BleGattUnicast
+from repro.session import Session, SessionBuilder, SessionObserver
 from repro.sim import Simulator
 
 __version__ = "1.0.0"
@@ -76,6 +80,9 @@ __all__ = [
     "Hypergraph",
     "HyperEdge",
     "ring_kcast_topology",
+    "Session",
+    "SessionBuilder",
+    "SessionObserver",
     "BleAdvertisementKCast",
     "BleGattUnicast",
     "Simulator",

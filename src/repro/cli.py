@@ -1,10 +1,13 @@
 """Command-line interface for running protocol deployments and experiments.
 
 Installed as ``python -m repro.cli`` (or imported and called with an
-argument list, which is how the tests drive it).  Three subcommands cover
+argument list, which is how the tests drive it).  Four subcommands cover
 the common workflows:
 
-* ``run``         — execute one protocol deployment and print its metrics;
+* ``run``         — execute one protocol deployment (flags or a ``--spec``
+  JSON file, the :meth:`DeploymentSpec.to_dict` schema) and print metrics;
+* ``matrix``      — run a scenario-matrix sweep (protocols × faults ×
+  media × topologies) through the session runner and invariant battery;
 * ``experiment``  — regenerate one of the paper's tables/figures by name;
 * ``feasibility`` — print the Fig. 1 feasible-region summary for a payload
   range and system-size range.
@@ -13,11 +16,12 @@ the common workflows:
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence
 
 from repro.core.adversary import FaultPlan
 from repro.eval import experiments
-from repro.eval.runner import DeploymentSpec, run_protocol
+from repro.eval.runner import MEDIA, PROTOCOLS, TOPOLOGIES, DeploymentSpec, run_protocol
 from repro.eval.tables import format_table
 
 #: Experiment names accepted by the ``experiment`` subcommand.
@@ -40,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one protocol deployment")
-    run.add_argument("--protocol", default="eesmr", choices=["eesmr", "sync-hotstuff", "optsync", "trusted-baseline"])
+    run.add_argument("--protocol", default="eesmr", choices=list(PROTOCOLS))
     run.add_argument("--nodes", "-n", type=int, default=7)
     run.add_argument("--faults", "-f", type=int, default=2)
     run.add_argument("--kcast", "-k", type=int, default=3)
@@ -54,6 +58,41 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
         help="make the view-1 leader Byzantine",
     )
+    run.add_argument(
+        "--spec",
+        metavar="FILE.json",
+        help="run the DeploymentSpec serialised in this JSON file "
+        "(DeploymentSpec.to_dict schema); other run flags are ignored",
+    )
+
+    matrix = sub.add_parser(
+        "matrix", help="run a scenario-matrix sweep with the invariant battery"
+    )
+    matrix.add_argument("--protocols", nargs="+", default=list(PROTOCOLS), choices=list(PROTOCOLS))
+    matrix.add_argument(
+        "--faults",
+        nargs="+",
+        default=None,
+        help="fault-schedule names from repro.testkit.scenarios.FAULT_LIBRARY "
+        "(default: the canonical three-fault slice)",
+    )
+    matrix.add_argument("--media", nargs="+", default=["ble"], choices=list(MEDIA))
+    matrix.add_argument(
+        "--topologies", nargs="+", default=["ring-kcast"], choices=list(TOPOLOGIES)
+    )
+    matrix.add_argument("--nodes", "-n", type=int, default=5)
+    matrix.add_argument("--faulty", "-f", type=int, default=1)
+    matrix.add_argument("--kcast", "-k", type=int, default=2)
+    matrix.add_argument("--blocks", type=int, default=3)
+    matrix.add_argument("--seed", type=int, default=29)
+    matrix.add_argument(
+        "--parallel", type=int, default=None, help="worker processes (default: serial)"
+    )
+    matrix.add_argument(
+        "--dump-specs",
+        metavar="FILE.json",
+        help="also write every runnable cell's DeploymentSpec (to_dict schema)",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -65,22 +104,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    fault_plan = FaultPlan()
-    if args.leader_fault != "none":
-        fault_plan = FaultPlan(faulty=(0,), behaviour=args.leader_fault)
-    spec = DeploymentSpec(
-        protocol=args.protocol,
-        n=args.nodes,
-        f=args.faults,
-        k=args.kcast,
-        target_height=args.blocks,
-        command_payload_bytes=args.payload_bytes,
-        signature_scheme=args.scheme,
-        seed=args.seed,
-        fault_plan=fault_plan,
-    )
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = DeploymentSpec.from_dict(json.load(handle))
+    else:
+        fault_plan = FaultPlan()
+        if args.leader_fault != "none":
+            fault_plan = FaultPlan(faulty=(0,), behaviour=args.leader_fault)
+        spec = DeploymentSpec(
+            protocol=args.protocol,
+            n=args.nodes,
+            f=args.faults,
+            k=args.kcast,
+            target_height=args.blocks,
+            command_payload_bytes=args.payload_bytes,
+            signature_scheme=args.scheme,
+            seed=args.seed,
+            fault_plan=fault_plan,
+        )
     result = run_protocol(spec)
-    print(f"protocol            : {args.protocol}")
+    print(f"protocol            : {spec.protocol}")
     print(f"n / f / k           : {spec.n} / {spec.f} / {spec.k}")
     print(f"committed blocks    : {result.committed_blocks}")
     print(f"safety              : {'OK' if result.safety.consistent else 'VIOLATED'}")
@@ -89,6 +132,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"leader per block    : {result.leader_energy_per_block_mj:.1f} mJ")
     print(f"sign / verify ops   : {result.sign_operations} / {result.verify_operations}")
     return 0 if result.safety.consistent else 1
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    # Lazy import: the testkit (and its sweep machinery) is only needed here.
+    from repro.testkit.scenarios import DEFAULT_FAULTS, ScenarioMatrix
+
+    matrix = ScenarioMatrix(
+        protocols=tuple(args.protocols),
+        fault_names=tuple(args.faults) if args.faults else DEFAULT_FAULTS,
+        media=tuple(args.media),
+        topologies=tuple(args.topologies),
+        n=args.nodes,
+        f=args.faulty,
+        k=args.kcast,
+        target_height=args.blocks,
+        seed=args.seed,
+    )
+    if args.dump_specs:
+        specs = []
+        for cell in matrix.cells():
+            spec = matrix.build_spec(cell)
+            if matrix.cell_feasibility(cell, spec=spec) is None:
+                specs.append(spec.to_dict())
+        with open(args.dump_specs, "w") as handle:
+            json.dump(specs, handle, indent=2, sort_keys=True)
+        print(f"wrote {len(specs)} runnable cell specs to {args.dump_specs}")
+    report = matrix.run(parallel=args.parallel)
+    print(f"cells run           : {report.cells_run}")
+    print(f"cells skipped       : {report.cells_skipped}")
+    for skip in report.skipped:
+        print(f"  skip: {skip.label()}")
+    if report.ok:
+        print("invariants          : OK")
+        return 0
+    print(f"invariants          : {len(report.failures())} FAILURES")
+    for failure in report.failures():
+        print(f"  FAIL: {failure}")
+    return 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -125,6 +206,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "feasibility":

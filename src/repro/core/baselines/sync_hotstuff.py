@@ -336,6 +336,8 @@ class SyncHotStuffReplica(BaseReplica):
         self.v_cur = old_view + 1
         self.in_view_change = False
         self.stats.view_changes_completed += 1
+        if self.hooks is not None:
+            self.hooks.view_change(self.pid, self.v_cur, self.sim.now)
         self.blame_timer.start(8 * self.config.delta)
         if self.is_leader(self.v_cur):
             block, _ = self._highest_certified()

@@ -247,6 +247,8 @@ class ViewChangeMixin:
         self.v_cur = old_view + 1
         self.r_cur = 1
         self.stats.view_changes_completed += 1
+        if self.hooks is not None:
+            self.hooks.view_change(self.pid, self.v_cur, self.sim.now)
         new_leader = self.leader_of(self.v_cur)
         if self.best_commit_qc is not None:
             status = self.sign_message(MessageType.COMMIT_QC, self.best_commit_qc, view=self.v_cur)

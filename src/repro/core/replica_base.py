@@ -66,6 +66,11 @@ class BaseReplica(Process):
         self.b_lock: Block = GENESIS
         self.b_com: Block = GENESIS
 
+        #: Optional session observer bus (``repro.session.observers``).
+        #: When set, the replica reports block commits and completed view
+        #: changes through it; ``None`` keeps the hot path hook-free.
+        self.hooks: Optional[Any] = None
+
     # --------------------------------------------------------------- leader
     def leader_of(self, view: View) -> NodeId:
         """The leader of ``view`` according to the configured schedule."""
@@ -178,6 +183,9 @@ class BaseReplica(Process):
                     self.ack_router.route(
                         self.pid, command, committed.height, committed.block_hash
                     )
+        if self.hooks is not None:
+            for committed in newly_committed:
+                self.hooks.block_commit(self.pid, committed, self.v_cur, self.sim.now)
         return newly_committed
 
     # ---------------------------------------------------------------- client

@@ -1,47 +1,27 @@
 """Experiment runner: build a deployment, run it, collect metrics.
 
 The runner is the reproduction's equivalent of the paper's test-bed
-harness: given a :class:`DeploymentSpec` it builds the topology, network,
-key material and replicas, pre-loads the workload, runs the simulation to
-quiescence, checks safety, and returns a :class:`RunResult` with the
-energy, communication and protocol metrics every figure needs.
+harness.  Since the session redesign it is a thin shim: given a
+:class:`DeploymentSpec` it builds a :class:`~repro.session.session.Session`
+through the staged :class:`~repro.session.builder.SessionBuilder`
+pipeline, drives it to quiescence, and returns the collected
+:class:`RunResult` — byte-identical to the original one-shot runner
+(pinned by the golden trace fingerprints).  Callers that need mid-run
+control (stepping, pause/inspect/resume, observers, adaptive faults) use
+the session API directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
-from repro.core.adversary import FaultPlan, behaviour_class, replica_class_for
-from repro.core.baselines.optsync import OptSyncReplica
-from repro.core.baselines.sync_hotstuff import SyncHotStuffReplica
-from repro.core.baselines.trusted_baseline import TrustedBaselineReplica, TrustedControlNode
-from repro.core.client import AckRouter
+from repro.core.adversary import FaultPlan
 from repro.core.config import ProtocolConfig
-from repro.core.eesmr.replica import EesmrReplica
-from repro.core.ledger import SafetyChecker, SafetyReport
-from repro.crypto.keys import KeyStore
-from repro.crypto.signatures import SignatureScheme, make_scheme
-from repro.energy.ledger import ClusterEnergyLedger, EnergyReport
-from repro.energy.meter import EnergyCategory
+from repro.core.ledger import SafetyReport
+from repro.energy.ledger import EnergyReport
 from repro.net.hypergraph import Hypergraph
-from repro.net.network import NetworkStats, SimulatedNetwork
-from repro.net.topology import (
-    fully_connected_topology,
-    random_kcast_topology,
-    ring_kcast_topology,
-    star_topology,
-    unicast_ring_topology,
-)
-from repro.radio.media import (
-    MediumKCastAdapter,
-    MediumUnicastAdapter,
-    lte_medium,
-    make_medium,
-)
-from repro.sim.rng import SeededRNG, derive_seed
-from repro.sim.scheduler import Simulator
-from repro.eval.workloads import client_for_run, commands_for_run, fill_txpools
+from repro.net.network import NetworkStats
 
 #: Names accepted by DeploymentSpec.protocol.
 PROTOCOLS = ("eesmr", "sync-hotstuff", "optsync", "trusted-baseline")
@@ -50,6 +30,9 @@ PROTOCOLS = ("eesmr", "sync-hotstuff", "optsync", "trusted-baseline")
 #: bed (reliable advertisement k-casts + GATT unicasts); the others price
 #: every transmission with the corresponding Table 1 medium model.
 MEDIA = ("ble", "wifi", "4g-lte")
+
+#: Names accepted by DeploymentSpec.topology.
+TOPOLOGIES = ("ring-kcast", "fully-connected", "unicast-ring", "star", "random-kcast")
 
 
 @dataclass
@@ -90,15 +73,92 @@ class DeploymentSpec:
             raise ValueError(f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
         if self.medium not in MEDIA:
             raise ValueError(f"unknown medium {self.medium!r}; known: {MEDIA}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}; known: {TOPOLOGIES}")
         if self.k < 1 or self.k > self.n - 1:
             raise ValueError(f"k must be in [1, n-1], got k={self.k}, n={self.n}")
+        if self.topology == "random-kcast" and self.edges_per_node < 1:
+            raise ValueError(
+                f"random-kcast needs edges_per_node >= 1, got {self.edges_per_node}"
+            )
 
     @property
     def byzantine_nodes(self) -> tuple[int, ...]:
-        """Node ids under adversary control (schedule-aware)."""
+        """Node ids under adversary control (schedule-aware).
+
+        Read *after* a run for adaptive schedules: their victim sets are
+        decided mid-run and recorded back onto the schedule.
+        """
         if self.fault_schedule is not None:
             return tuple(self.fault_schedule.byzantine_nodes())
         return self.fault_plan.faulty
+
+    # ------------------------------------------------------------ declarative
+    def to_dict(self) -> dict:
+        """A JSON-safe description of this spec (round-trips via
+        :meth:`from_dict`).  The one schema every surface serialises
+        through: CLI ``--spec`` files, matrix cell dumps, benchmarks."""
+        out = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "f": self.f,
+            "k": self.k,
+            "topology": self.topology,
+            "edges_per_node": self.edges_per_node,
+            "topology_seed": self.topology_seed,
+            "medium": self.medium,
+            "hop_delay": self.hop_delay,
+            "delta": self.delta,
+            "signature_scheme": self.signature_scheme,
+            "batch_size": self.batch_size,
+            "command_payload_bytes": self.command_payload_bytes,
+            "target_height": self.target_height,
+            "block_interval": self.block_interval,
+            "seed": self.seed,
+            "charge_sleep": self.charge_sleep,
+            "jitter": self.jitter,
+            "fault_plan": {
+                "faulty": list(self.fault_plan.faulty),
+                "behaviour": self.fault_plan.behaviour,
+                "trigger_round": self.fault_plan.trigger_round,
+                "crash_time": self.fault_plan.crash_time,
+            },
+            "fault_schedule": (
+                self.fault_schedule.describe() if self.fault_schedule is not None else None
+            ),
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. parsed JSON)."""
+        data = dict(data)
+        plan_data = data.pop("fault_plan", None)
+        schedule_data = data.pop("fault_schedule", None)
+        unknown = set(data) - _SPEC_FIELDS
+        if unknown:
+            raise ValueError(f"unknown DeploymentSpec fields {sorted(unknown)}")
+        kwargs: Dict[str, Any] = dict(data)
+        if plan_data is not None:
+            # Omitted keys fall through to FaultPlan's own defaults — the
+            # dataclass stays the single source of truth for them.
+            plan_data = dict(plan_data)
+            kwargs["fault_plan"] = FaultPlan(
+                faulty=tuple(plan_data.pop("faulty", ())), **plan_data
+            )
+        if schedule_data is not None:
+            # Lazy import: ``eval`` stays importable without the testkit.
+            from repro.testkit.faults import schedule_from_dict
+
+            kwargs["fault_schedule"] = schedule_from_dict(schedule_data)
+        return cls(**kwargs)
+
+
+#: Scalar DeploymentSpec field names accepted by :meth:`DeploymentSpec.from_dict`.
+_SPEC_FIELDS = {name for name in DeploymentSpec.__dataclass_fields__} - {
+    "fault_plan",
+    "fault_schedule",
+}
 
 
 @dataclass
@@ -161,6 +221,9 @@ class RunResult:
 class ProtocolRunner:
     """Builds and executes deployments described by :class:`DeploymentSpec`.
 
+    A thin shim over the session API: every run is
+    ``SessionBuilder(spec).build().run_to_quiescence().finish()``.
+
     Args:
         max_events: Safety valve against livelocked protocols.
         recorder: Optional ``repro.testkit.trace.TraceRecorder``; when given,
@@ -174,291 +237,38 @@ class ProtocolRunner:
 
     # --------------------------------------------------------------- radios
     def build_radios(self, spec: DeploymentSpec):
-        """The (k-cast, unicast) radio pair for the spec's medium.
+        """The (k-cast, unicast) radio pair for the spec's medium."""
+        from repro.session.builder import build_radios
 
-        ``None`` entries mean "use the network's default" — the calibrated
-        BLE advertisement k-cast and GATT unicast of the paper's test bed.
-        """
-        if spec.medium == "ble":
-            return None, None
-        medium = make_medium(spec.medium)
-        return MediumKCastAdapter(medium), MediumUnicastAdapter(medium)
+        return build_radios(spec)
 
     # ------------------------------------------------------------ topology
     def build_topology(self, spec: DeploymentSpec) -> Hypergraph:
         """The hypergraph for a spec (ring k-cast by default, as in the paper)."""
-        if spec.topology == "ring-kcast":
-            return ring_kcast_topology(spec.n, spec.k)
-        if spec.topology == "fully-connected":
-            return fully_connected_topology(spec.n)
-        if spec.topology == "unicast-ring":
-            return unicast_ring_topology(spec.n, spec.k)
-        if spec.topology == "star":
-            return star_topology(spec.n + 1, center=spec.n)
-        if spec.topology == "random-kcast":
-            topology_seed = (
-                spec.topology_seed
-                if spec.topology_seed is not None
-                else derive_seed(spec.seed, "topology", spec.n, spec.k, spec.edges_per_node)
-            )
-            return random_kcast_topology(
-                spec.n, spec.k, edges_per_node=spec.edges_per_node, rng=SeededRNG(topology_seed)
-            )
-        raise ValueError(f"unknown topology {spec.topology!r}")
+        from repro.session.builder import build_topology
+
+        return build_topology(spec)
 
     def compute_delta(self, spec: DeploymentSpec, topology: Hypergraph) -> float:
         """A Δ that upper-bounds flooded delivery plus a unicast response."""
-        if spec.delta is not None:
-            return spec.delta
-        diameter = max(1, topology.diameter())
-        return (diameter + 2) * spec.hop_delay
+        from repro.session.builder import compute_delta
+
+        return compute_delta(spec, topology)
 
     # --------------------------------------------------------------- running
+    def session(self, spec: DeploymentSpec, **builder_kwargs):
+        """An unstarted :class:`~repro.session.session.Session` for ``spec``."""
+        from repro.session.builder import SessionBuilder
+
+        builder_kwargs.setdefault("max_events", self.max_events)
+        builder_kwargs.setdefault("recorder", self.recorder)
+        return SessionBuilder(spec, **builder_kwargs).build()
+
     def run(self, spec: DeploymentSpec) -> RunResult:
         """Execute one deployment to quiescence and collect its metrics."""
-        if spec.protocol == "trusted-baseline":
-            return self._run_trusted_baseline(spec)
-        return self._run_replicated(spec)
-
-    # ----------------------------------------------------- replicated runs
-    def _run_replicated(self, spec: DeploymentSpec) -> RunResult:
-        sim = Simulator()
-        if self.recorder is not None:
-            self.recorder.attach(sim)
-        rng = SeededRNG(spec.seed)
-        topology = self.build_topology(spec)
-        delta = self.compute_delta(spec, topology)
-        ledger = ClusterEnergyLedger(topology.nodes)
-        kcast_radio, unicast_radio = self.build_radios(spec)
-        network = SimulatedNetwork(
-            sim,
-            topology,
-            ledger,
-            rng=rng.child("network"),
-            kcast_radio=kcast_radio,
-            unicast_radio=unicast_radio,
-            hop_delay=spec.hop_delay,
-            jitter=spec.jitter,
-        )
-        keystore = KeyStore(seed=spec.seed)
-        keystore.generate(topology.nodes)
-        scheme = make_scheme(spec.signature_scheme, keystore=keystore)
-        config = ProtocolConfig(
-            n=spec.n,
-            f=spec.f,
-            delta=delta,
-            signature_scheme=spec.signature_scheme,
-            batch_size=spec.batch_size,
-            command_payload_bytes=spec.command_payload_bytes,
-            target_height=spec.target_height,
-            block_interval=spec.block_interval,
-        )
-        client = client_for_run(spec.f, spec.command_payload_bytes, spec.seed)
-        ack_router = AckRouter([client])
-
-        replicas = self._build_replicas(sim, spec, config, scheme, network, ledger, ack_router)
-        for replica in replicas.values():
-            network.register(replica)
-        if spec.fault_schedule is not None:
-            # The schedule arms its own network-level faults (relay drops,
-            # partitions, timed relay silence) with per-fault timing.
-            spec.fault_schedule.install(sim, network, replicas)
-        else:
-            for pid in spec.fault_plan.faulty:
-                network.set_relay_policy(pid, lambda _origin, _message: False)
-
-        commands = commands_for_run(
-            spec.target_height,
-            spec.batch_size,
-            spec.command_payload_bytes,
-            seed=spec.seed,
-        )
-        for command in commands:
-            client.submitted[command.command_id] = command
-        fill_txpools(replicas.values(), commands)
-
-        for replica in replicas.values():
-            replica.start()
-        sim.run_until_idle(max_events=self.max_events)
-
-        return self._collect(spec, config, sim, ledger, network, scheme, replicas)
-
-    def _build_replicas(
-        self,
-        sim: Simulator,
-        spec: DeploymentSpec,
-        config: ProtocolConfig,
-        scheme: SignatureScheme,
-        network: SimulatedNetwork,
-        ledger: ClusterEnergyLedger,
-        ack_router: AckRouter,
-    ) -> Dict[int, object]:
-        schedule = spec.fault_schedule
-        replicas: Dict[int, object] = {}
-        for pid in range(spec.n):
-            meter = ledger.meter(pid)
-            if spec.protocol == "eesmr":
-                cls, kwargs = self._eesmr_class_for(spec, pid)
-                replica = cls(sim, pid, config, scheme, network, meter, ack_router, **kwargs)
-            else:
-                base_cls = SyncHotStuffReplica if spec.protocol == "sync-hotstuff" else OptSyncReplica
-                replica = base_cls(sim, pid, config, scheme, network, meter, ack_router)
-                # Baseline faults are modelled as fail-stop at the trigger time.
-                if schedule is not None:
-                    failstop = schedule.failstop_time(pid)
-                    if failstop is not None:
-                        replica.after(failstop, replica.crash, label="crash")
-                elif pid in spec.fault_plan.faulty:
-                    replica.after(spec.fault_plan.crash_time, replica.crash, label="crash")
-            replicas[pid] = replica
-        return replicas
-
-    def _eesmr_class_for(self, spec: DeploymentSpec, pid: int):
-        """The (class, kwargs) for one EESMR node under the spec's faults."""
-        if spec.fault_schedule is not None:
-            behaviour = spec.fault_schedule.replica_behaviour(pid)
-            if behaviour is None:
-                return EesmrReplica, {}
-            name, kwargs = behaviour
-            return behaviour_class(name), dict(kwargs)
-        return replica_class_for(spec.fault_plan, pid)
-
-    # ----------------------------------------------- trusted baseline runs
-    def _run_trusted_baseline(self, spec: DeploymentSpec) -> RunResult:
-        sim = Simulator()
-        if self.recorder is not None:
-            self.recorder.attach(sim)
-        rng = SeededRNG(spec.seed)
-        control_id = spec.n
-        topology = star_topology(spec.n + 1, center=control_id)
-        ledger = ClusterEnergyLedger(topology.nodes)
-        # The paper's trusted baseline talks to its control node over LTE;
-        # "ble" (the default) keeps that, other media override the links.
-        unicast_radio = (
-            MediumUnicastAdapter(lte_medium())
-            if spec.medium == "ble"
-            else MediumUnicastAdapter(make_medium(spec.medium))
-        )
-        network = SimulatedNetwork(
-            sim,
-            topology,
-            ledger,
-            rng=rng.child("network"),
-            unicast_radio=unicast_radio,
-            hop_delay=spec.hop_delay,
-            jitter=spec.jitter,
-        )
-        delta = spec.delta if spec.delta is not None else 3 * spec.hop_delay
-        keystore = KeyStore(seed=spec.seed)
-        keystore.generate(topology.nodes)
-        scheme = make_scheme(spec.signature_scheme, keystore=keystore)
-        config = ProtocolConfig(
-            n=spec.n,
-            f=spec.f,
-            delta=delta,
-            signature_scheme=spec.signature_scheme,
-            batch_size=spec.batch_size,
-            command_payload_bytes=spec.command_payload_bytes,
-            target_height=spec.target_height,
-            block_interval=spec.block_interval,
-        )
-        client = client_for_run(spec.f, spec.command_payload_bytes, spec.seed)
-        ack_router = AckRouter([client])
-
-        control = TrustedControlNode(
-            sim, control_id, config, scheme, network, round_interval=max(spec.hop_delay, 0.5)
-        )
-        replicas: Dict[int, TrustedBaselineReplica] = {}
-        for pid in range(spec.n):
-            replicas[pid] = TrustedBaselineReplica(
-                sim, pid, config, scheme, network, ledger.meter(pid), control_id, ack_router
-            )
-        control.replica_ids = list(replicas)
-        network.register(control)
-        for replica in replicas.values():
-            network.register(replica)
-        if spec.fault_schedule is not None:
-            for pid, replica in replicas.items():
-                failstop = spec.fault_schedule.failstop_time(pid)
-                if failstop is not None:
-                    replica.after(failstop, replica.crash, label="crash")
-            spec.fault_schedule.install(sim, network, replicas)
-
-        commands = commands_for_run(
-            spec.target_height, spec.batch_size, spec.command_payload_bytes, seed=spec.seed
-        )
-        fill_txpools(replicas.values(), commands)
-        control.start()
-        for replica in replicas.values():
-            replica.start()
-        sim.run_until_idle(max_events=self.max_events)
-        return self._collect(
-            spec, config, sim, ledger, network, scheme, replicas, exclude_from_energy={control_id}
-        )
-
-    # ------------------------------------------------------------ collection
-    def _collect(
-        self,
-        spec: DeploymentSpec,
-        config: ProtocolConfig,
-        sim: Simulator,
-        ledger: ClusterEnergyLedger,
-        network: SimulatedNetwork,
-        scheme: SignatureScheme,
-        replicas: Dict[int, object],
-        exclude_from_energy: Optional[set[int]] = None,
-    ) -> RunResult:
-        byzantine = set(spec.byzantine_nodes)
-        faulty = byzantine | set(exclude_from_energy or ())
-        if spec.charge_sleep:
-            for pid, meter in ledger.meters.items():
-                if pid not in faulty:
-                    meter.charge_sleep(sim.now, sim.now)
-        leader = config.leader_of(1)
-        energy = ledger.report(leader=leader, faulty=faulty)
-        logs = {pid: replica.log for pid, replica in replicas.items()}
-        checker = SafetyChecker(logs, faulty=byzantine)
-        safety = checker.check()
-        committed_heights = {pid: replica.committed_height for pid, replica in replicas.items()}
-        correct_heights = [
-            height for pid, height in committed_heights.items() if pid not in byzantine
-        ]
-        view_changes = max(
-            (
-                replica.stats.view_changes_completed
-                for pid, replica in replicas.items()
-                if pid not in byzantine
-            ),
-            default=0,
-        )
-        result = RunResult(
-            spec=spec,
-            config=config,
-            energy=energy,
-            safety=safety,
-            network=network.stats,
-            sim_time=sim.now,
-            committed_heights=committed_heights,
-            min_committed_height=min(correct_heights, default=0),
-            view_changes=view_changes,
-            equivocations_detected=sum(
-                replica.stats.equivocations_detected for replica in replicas.values()
-            ),
-            blames_sent=sum(replica.stats.blames_sent for replica in replicas.values()),
-            sign_operations=scheme.total_sign_operations(),
-            verify_operations=scheme.total_verify_operations(),
-            replica_snapshots={
-                pid: replica.describe() if hasattr(replica, "describe") else {}
-                for pid, replica in replicas.items()
-            },
-        )
-        if self.recorder is not None:
-            result.trace = self.recorder.capture(
-                spec, config, sim, ledger, network, scheme, replicas, safety
-            )
-        return result
+        return self.session(spec).run_to_quiescence().finish()
 
 
 def run_protocol(spec: DeploymentSpec) -> RunResult:
-    """Convenience one-shot runner."""
+    """Convenience one-shot runner (a thin shim over a session)."""
     return ProtocolRunner().run(spec)

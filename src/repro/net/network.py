@@ -215,6 +215,10 @@ class SimulatedNetwork:
         # ``topology_version`` covers edge mutations.
         self._plans: Dict[int, DisseminationPlan] = {}
         self._state_epoch = 0
+        # Optional (node, kind, active, time) callback fired on *effective*
+        # fault-window transitions (relay denial and partition edges) — the
+        # session observer bus's ``on_fault_window`` dispatch.
+        self.fault_observer = None
 
     # ---------------------------------------------------------- registration
     def register(self, process: Process) -> None:
@@ -250,6 +254,8 @@ class SimulatedNetwork:
         if depth == 0:
             self._relay_denial_saved[pid] = self.relay_policies.get(pid)
             self.relay_policies[pid] = _never_relay
+            if self.fault_observer is not None:
+                self.fault_observer(pid, "relay-deny", True, self.sim.now)
         self._relay_denial_depth[pid] = depth + 1
         self.invalidate_plans()
 
@@ -269,6 +275,8 @@ class SimulatedNetwork:
                 self.relay_policies.pop(pid, None)
             else:
                 self.relay_policies[pid] = previous
+            if self.fault_observer is not None:
+                self.fault_observer(pid, "relay-deny", False, self.sim.now)
         else:
             self._relay_denial_depth[pid] = depth - 1
         self.invalidate_plans()
@@ -280,7 +288,10 @@ class SimulatedNetwork:
         :meth:`reconnect`, so overlapping partition windows on the same
         node cannot heal it early.
         """
-        self._partition[pid] = self._partition.get(pid, 0) + 1
+        depth = self._partition.get(pid, 0)
+        self._partition[pid] = depth + 1
+        if depth == 0 and self.fault_observer is not None:
+            self.fault_observer(pid, "partition", True, self.sim.now)
         self.invalidate_plans()
 
     def reconnect(self, pid: int) -> None:
@@ -291,6 +302,8 @@ class SimulatedNetwork:
         depth = self._partition.get(pid, 0)
         if depth <= 1:
             self._partition.pop(pid, None)
+            if depth == 1 and self.fault_observer is not None:
+                self.fault_observer(pid, "partition", False, self.sim.now)
         else:
             self._partition[pid] = depth - 1
         self.invalidate_plans()

@@ -14,7 +14,7 @@ from repro.perf.benchmarks import (
     bench_flood_scaling,
     bench_matrix_wall_clock,
 )
-from repro.perf.counters import StageTimer, collect_cache_stats, time_repeats
+from repro.perf.counters import PerfObserver, StageTimer, collect_cache_stats, time_repeats
 from repro.perf.legacy import LegacyEventQueue, legacy_mode
 from repro.perf.report import SPEEDUP_GATES, BenchEntry, BenchReport, run_hotpath_suite
 
@@ -24,6 +24,7 @@ __all__ = [
     "BenchReport",
     "BenchResult",
     "LegacyEventQueue",
+    "PerfObserver",
     "SPEEDUP_GATES",
     "StageTimer",
     "bench_eesmr_steady_state",

@@ -1,4 +1,11 @@
-"""Lightweight counters and timers for the benchmark harness."""
+"""Lightweight counters and timers for the benchmark harness.
+
+In-run protocol counters are the session observer
+:class:`~repro.session.observers.PerfObserver` (re-exported here):
+register it on a session to count events, commits, view changes and
+fault-window transitions live, instead of diffing stats objects after
+the fact.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.crypto.hashing import canonical_cache
+from repro.session.observers import PerfObserver
+
+__all__ = ["StageTimer", "PerfObserver", "collect_cache_stats", "time_repeats"]
 
 
 @dataclass

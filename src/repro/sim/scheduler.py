@@ -42,6 +42,11 @@ class Simulator:
         self._executed = 0
         self.trace_enabled = trace
         self.trace_log: list[tuple[float, str]] = []
+        #: Optional ``(time, label)`` callback fired for every executed
+        #: event — the session observer bus's ``on_event`` dispatch.  Left
+        #: ``None`` (zero cost beyond one comparison) unless an observer
+        #: actually listens.
+        self.event_observer: Optional[Callable[[float, str], None]] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -58,6 +63,10 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still scheduled."""
         return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or ``None`` when idle."""
+        return self._queue.peek_time()
 
     # ------------------------------------------------------------ scheduling
     def schedule_at(
@@ -112,11 +121,14 @@ class Simulator:
             raise SimulationError("event queue returned an event from the past")
         self._now = event.time
         self._executed += 1
-        if self.trace_enabled:
+        if self.trace_enabled or self.event_observer is not None:
             label = event.label
             if callable(label):
                 label = label()
-            self.trace_log.append((self._now, label))
+            if self.trace_enabled:
+                self.trace_log.append((self._now, label))
+            if self.event_observer is not None:
+                self.event_observer(self._now, label)
         event.callback()
         return True
 
@@ -178,11 +190,14 @@ class Simulator:
                     raise SimulationError("event queue returned an event from the past")
                 self._now = event.time
                 self._executed += 1
-                if self.trace_enabled:
+                if self.trace_enabled or self.event_observer is not None:
                     label = event.label
                     if callable(label):
                         label = label()
-                    self.trace_log.append((self._now, label))
+                    if self.trace_enabled:
+                        self.trace_log.append((self._now, label))
+                    if self.event_observer is not None:
+                        self.event_observer(self._now, label)
                 event.callback()
                 executed_here += 1
                 if max_events is not None and executed_here > max_events:

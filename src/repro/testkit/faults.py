@@ -63,6 +63,29 @@ class Fault:
     #: held to full liveness (it only withholds *forwarding*).
     liveness_exempt: ClassVar[bool] = True
 
+    def nodes(self) -> Tuple[int, ...]:
+        """The node ids this fault touches.
+
+        Static atoms touch exactly ``(self.node,)``.  *Adaptive* atoms
+        pick their victims mid-run; before a run they report ``()`` and
+        afterwards the victims actually struck (see
+        :class:`LeaderFollowingCrash`).
+        """
+        return (self.node,)
+
+    def dynamic_budget(self) -> int:
+        """Upper bound on nodes this fault may strike at run time (0 = static)."""
+        return 0
+
+    def controller(self):
+        """A session controller executing this fault mid-run, or ``None``.
+
+        Adaptive atoms return a fresh
+        :class:`~repro.session.session.SessionController`; static atoms
+        arm everything up front via :meth:`install` and need none.
+        """
+        return None
+
     def impairment(self) -> Optional[Tuple[float, float]]:
         """The ``[start, end)`` window during which this node cannot be
         relied on to forward floods (``None`` = never impaired).
@@ -86,10 +109,16 @@ class Fault:
         """Arm network-level effects on a built deployment."""
 
     def describe(self) -> dict:
-        """A canonical, JSON-friendly description (used in trace fingerprints)."""
+        """A canonical, JSON-friendly description (static fields only).
+
+        Round-trips through :func:`fault_from_dict`; runtime state
+        (underscore-prefixed attributes such as an adaptive atom's
+        recorded victims) is excluded so a described schedule can be
+        re-deployed as the *same* declarative adversary.
+        """
         out = {"kind": type(self).__name__, "node": self.node}
         for key, value in self.__dict__.items():
-            if key != "node":
+            if key != "node" and not key.startswith("_"):
                 out[key] = value
         return out
 
@@ -236,6 +265,77 @@ class PartitionWindow(Fault):
 
 
 @dataclass(frozen=True)
+class LeaderFollowingCrash(Fault):
+    """An *adaptive* (mobile) crash adversary that follows the rotation.
+
+    Unlike every other atom, the victim set is not fixed up front: at each
+    check (every ``interval`` of virtual time from ``start``) the
+    adversary resolves the leader of the highest view any live replica is
+    in and fail-stops it, then waits for the resulting view change to
+    install the next leader and strikes again — up to ``budget`` victims.
+
+    Executed by a :class:`~repro.session.adaptive.LeaderFollowingController`
+    over the session's steppable run control; the controller records every
+    victim back onto this atom, so post-run :meth:`nodes` (and hence the
+    schedule's Byzantine/liveness accounting) reflects the nodes actually
+    struck.  ``node`` is a placeholder (-1): adaptive atoms have no static
+    target.
+    """
+
+    node: int = -1
+    #: Maximum number of leaders to crash (must fit the deployment's f).
+    budget: int = 1
+    #: Virtual time at which the adversary starts stalking.
+    start: float = 0.0
+    #: Virtual time between leader checks.
+    interval: float = 1.0
+
+    byzantine: ClassVar[bool] = True
+    liveness_exempt: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError(f"adaptive budget must be >= 1, got {self.budget}")
+        if self.interval <= 0:
+            raise ValueError(f"check interval must be positive, got {self.interval}")
+        if self.start < 0:
+            raise ValueError(f"start time cannot be negative, got {self.start}")
+
+    # ------------------------------------------------------- dynamic targets
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(self.victims)
+
+    @property
+    def victims(self) -> Tuple[int, ...]:
+        """Victims struck in the most recent run (empty before any run).
+
+        The controller resets this when a new session starts, so the
+        accounting always describes *one* campaign; sharing one schedule
+        object across concurrently live sessions is not supported (build
+        each from its own spec, e.g. via ``DeploymentSpec.from_dict``).
+        """
+        return tuple(self.__dict__.get("_victims", ()))
+
+    def record_victim(self, pid: int) -> None:
+        """Called by the controller when it strikes ``pid``."""
+        struck = self.__dict__.setdefault("_victims", [])
+        if pid not in struck:
+            struck.append(pid)
+
+    def reset_victims(self) -> None:
+        """Start a fresh campaign (called when a new session attaches)."""
+        self.__dict__["_victims"] = []
+
+    def dynamic_budget(self) -> int:
+        return self.budget
+
+    def controller(self):
+        from repro.session.adaptive import LeaderFollowingController
+
+        return LeaderFollowingController(self)
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """An immutable composition of fault atoms, pluggable into the runner."""
 
@@ -265,12 +365,18 @@ class FaultSchedule:
 
     # ------------------------------------------------------------ node views
     def byzantine_nodes(self) -> Tuple[int, ...]:
-        """Adversary-controlled node ids (sorted, unique)."""
-        return tuple(sorted({f.node for f in self.faults if f.byzantine}))
+        """Adversary-controlled node ids (sorted, unique).
+
+        Adaptive atoms contribute the victims they actually struck — read
+        after the run, this is the realised adversary; before it, only the
+        statically targeted nodes (see :meth:`max_byzantine` for the
+        pre-run bound).
+        """
+        return tuple(sorted({p for f in self.faults if f.byzantine for p in f.nodes()}))
 
     def perturbed_nodes(self) -> Tuple[int, ...]:
         """Every node touched by any fault, Byzantine or environmental."""
-        return tuple(sorted({f.node for f in self.faults}))
+        return tuple(sorted({p for f in self.faults for p in f.nodes()}))
 
     def liveness_exempt_nodes(self) -> Tuple[int, ...]:
         """Nodes excused from liveness expectations (sorted, unique).
@@ -279,7 +385,28 @@ class FaultSchedule:
         behaviours and partition windows do, relay-drop windows do not —
         a dropping relay still receives every flood and keeps committing.
         """
-        return tuple(sorted({f.node for f in self.faults if f.liveness_exempt}))
+        return tuple(
+            sorted({p for f in self.faults if f.liveness_exempt for p in f.nodes()})
+        )
+
+    def dynamic_budget(self) -> int:
+        """Nodes adaptive atoms may strike at run time (0 for static schedules)."""
+        return sum(f.dynamic_budget() for f in self.faults)
+
+    def max_byzantine(self) -> int:
+        """Pre-run upper bound on adversary-controlled nodes.
+
+        Static Byzantine targets plus every adaptive atom's budget — the
+        ``f`` a deployment must provision to run this schedule soundly.
+        """
+        static = {
+            p for f in self.faults if f.byzantine and not f.dynamic_budget() for p in f.nodes()
+        }
+        return len(static) + self.dynamic_budget()
+
+    def controllers(self) -> Tuple[object, ...]:
+        """Fresh session controllers for every adaptive atom (build-time hook)."""
+        return tuple(c for f in self.faults if (c := f.controller()) is not None)
 
     def concurrent_impairment_sets(self) -> List[frozenset]:
         """Every distinct set of nodes simultaneously relay-impaired.
@@ -389,3 +516,41 @@ def drop_window(node: int, start: float, end: float) -> FaultSchedule:
 def partition(node: int, start: float, heal: float) -> FaultSchedule:
     """Disconnect a node for a window, then heal the partition."""
     return FaultSchedule((PartitionWindow(node, start, heal),))
+
+
+def leader_following_crash(
+    budget: int = 1, start: float = 0.0, interval: float = 1.0
+) -> FaultSchedule:
+    """An adaptive adversary crashing whichever node the rotation elects."""
+    return FaultSchedule((LeaderFollowingCrash(budget=budget, start=start, interval=interval),))
+
+
+# -------------------------------------------------------------- serialization
+#: Fault-atom kinds reconstructible from :meth:`Fault.describe` output.
+FAULT_KINDS = {
+    cls.__name__: cls
+    for cls in (
+        CrashAt,
+        StallAt,
+        EquivocateAt,
+        SilentFrom,
+        RelayDropWindow,
+        PartitionWindow,
+        LeaderFollowingCrash,
+    )
+}
+
+
+def fault_from_dict(data: dict) -> Fault:
+    """Rebuild one fault atom from its :meth:`Fault.describe` dict."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}; known: {sorted(FAULT_KINDS)}")
+    return cls(**data)
+
+
+def schedule_from_dict(data: list) -> FaultSchedule:
+    """Rebuild a :class:`FaultSchedule` from :meth:`FaultSchedule.describe`."""
+    return FaultSchedule(tuple(fault_from_dict(entry) for entry in data))

@@ -104,6 +104,19 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
     "stacked-drop-windows": lambda n: faults.drop_window(n - 1, start=1.0, end=5.0).add(
         faults.RelayDropWindow(n - 1, 2.0, 9.0)
     ),
+    # ---- adaptive (mobile) adversaries ------------------------------------
+    # A leader-following crash adversary: executed mid-run over the
+    # session's steppable control, it fail-stops whichever node the
+    # rotation currently makes leader, waits for the view change, and
+    # strikes the successor — the victim set is a function of the run.
+    "adaptive-leader-crash": lambda n: faults.leader_following_crash(
+        budget=1, start=0.0, interval=1.0
+    ),
+    # Budget-2 variant: needs a topology that survives two adversarially
+    # placed silent relays (skipped on the k=2 ring by Lemma A.5).
+    "adaptive-leader-crash-f2": lambda n: faults.leader_following_crash(
+        budget=2, start=0.0, interval=1.0
+    ),
 }
 
 #: The default fault slice: every protocol supports these (Byzantine leader
@@ -120,6 +133,9 @@ COMPOSED_FAULTS = (
     "overlapping-partitions",
     "stacked-drop-windows",
 )
+
+#: The adaptive slice: mobile adversaries whose victims are chosen mid-run.
+ADAPTIVE_FAULTS = ("adaptive-leader-crash", "adaptive-leader-crash-f2")
 
 #: The extended slice adds the remaining library entries for a full sweep.
 ALL_FAULTS = tuple(FAULT_LIBRARY)
@@ -227,6 +243,7 @@ class ScenarioMatrix:
         edges_per_node: int = 1,
         topology_seed: Optional[int] = None,
         target_height: int = 3,
+        block_interval: float = 0.0,
         seed: int = 29,
         invariants: Optional[Sequence] = None,
         record_events: bool = True,
@@ -245,6 +262,11 @@ class ScenarioMatrix:
         self.edges_per_node = edges_per_node
         self.topology_seed = topology_seed
         self.target_height = target_height
+        #: Virtual time between successive proposals.  0 (the default)
+        #: matches the paper's EESMR operating point; adaptive-adversary
+        #: cells use a positive interval so the leader's workload spans
+        #: virtual time and a mid-run strike actually interrupts it.
+        self.block_interval = block_interval
         self.seed = seed
         self.invariants = tuple(invariants if invariants is not None else DEFAULT_INVARIANTS)
         self.record_events = record_events
@@ -271,7 +293,9 @@ class ScenarioMatrix:
         schedule = FAULT_LIBRARY[cell.fault](self.n)
         f_cell = self.f
         if schedule is not None:
-            f_cell = max(f_cell, len(schedule.byzantine_nodes()))
+            # max_byzantine counts static targets plus adaptive budgets, so
+            # quorum sizes match the worst adversary the schedule may field.
+            f_cell = max(f_cell, schedule.max_byzantine())
         return DeploymentSpec(
             protocol=cell.protocol,
             n=self.n,
@@ -282,6 +306,7 @@ class ScenarioMatrix:
             topology_seed=self.topology_seed,
             medium=cell.medium,
             target_height=self.target_height,
+            block_interval=self.block_interval,
             seed=self.seed,
             fault_schedule=schedule,
         )
@@ -325,8 +350,9 @@ class ScenarioMatrix:
                 return f"all {self.n} nodes Byzantine; nothing left to check"
             return None
         if 2 * spec.f >= self.n:
+            worst = schedule.max_byzantine() if schedule is not None else len(byzantine)
             return (
-                f"{len(byzantine)} Byzantine nodes break the honest-majority "
+                f"{worst} Byzantine nodes break the honest-majority "
                 f"bound 2f < n (f={spec.f}, n={self.n})"
             )
         try:
@@ -335,6 +361,22 @@ class ScenarioMatrix:
             return f"topology {cell.topology} cannot be built: {error}"
         if schedule is None:
             return None
+        dynamic = schedule.dynamic_budget()
+        if dynamic:
+            # Adaptive victims are adversarially placed, so the topology
+            # must survive *any* budget-sized subset going silent (plus
+            # whatever the static atoms impair) — Lemma A.5 quantified
+            # over all placements instead of the concrete schedule.
+            static_worst = max(
+                (len(s) for s in schedule.concurrent_impairment_sets()), default=0
+            )
+            bound = topology.max_faults_necessary_condition()
+            if dynamic + static_worst > bound:
+                return (
+                    f"adaptive budget {dynamic} (+{static_worst} static) exceeds "
+                    f"the Lemma A.5 bound f <= {bound} on {cell.topology} for "
+                    f"adversarially placed victims"
+                )
         for impaired in schedule.concurrent_impairment_sets():
             if not topology.is_strongly_connected(exclude=impaired):
                 bound = topology.max_faults_necessary_condition()

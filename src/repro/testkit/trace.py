@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.messages import MessageType, QuorumCertificate, verify_qc, verify_view_qc
+from repro.session.observers import SessionObserver
 
 
 @dataclass
@@ -138,13 +139,15 @@ def spec_fingerprint(spec) -> Dict[str, Any]:
     return out
 
 
-class TraceRecorder:
-    """Captures a :class:`RunTrace` from a run driven by the protocol runner.
+class TraceRecorder(SessionObserver):
+    """Captures a :class:`RunTrace` from a session-driven run.
 
-    Pass an instance to :class:`repro.eval.runner.ProtocolRunner`; the
-    runner calls :meth:`attach` before the simulation starts and
-    :meth:`capture` after quiescence, storing the trace on the
-    :class:`~repro.eval.runner.RunResult`.
+    A :class:`~repro.session.observers.SessionObserver`: registered on a
+    session (or passed as ``recorder=`` to
+    :class:`repro.eval.runner.ProtocolRunner` or a ``SessionBuilder``), it
+    enables event tracing at session start and stores the harvested trace
+    on the :class:`~repro.eval.runner.RunResult` at session end — the same
+    plumbing every other observer uses.
 
     Args:
         record_events: Keep the full simulator event trace.  Byte-identical
@@ -156,7 +159,23 @@ class TraceRecorder:
         self.record_events = record_events
         self._sim = None
 
-    # ------------------------------------------------------------ runner API
+    # -------------------------------------------------------- observer hooks
+    def on_session_start(self, session) -> None:
+        self.attach(session.sim)
+
+    def on_session_end(self, session, result) -> None:
+        result.trace = self.capture(
+            session.spec,
+            session.config,
+            session.sim,
+            session.ledger,
+            session.network,
+            session.scheme,
+            session.replicas,
+            result.safety,
+        )
+
+    # ------------------------------------------------------------ low level
     def attach(self, sim) -> None:
         """Enable event tracing on the simulator about to run."""
         self._sim = sim

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+from repro.eval.runner import PROTOCOLS, DeploymentSpec
 
 
 def test_run_subcommand_honest(capsys):
@@ -44,6 +47,51 @@ def test_feasibility_subcommand(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "payload (B)" in out
+
+
+def test_run_protocol_choices_derive_from_runner_registry():
+    run_parser = next(
+        action
+        for action in build_parser()._subparsers._group_actions
+        if hasattr(action, "choices")
+    ).choices["run"]
+    protocol_action = next(a for a in run_parser._actions if a.dest == "protocol")
+    assert tuple(protocol_action.choices) == PROTOCOLS
+
+
+def test_run_subcommand_from_spec_file(tmp_path, capsys):
+    spec = DeploymentSpec(protocol="eesmr", n=5, f=1, k=2, target_height=2, seed=3)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    code = main(["run", "--spec", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "committed blocks    : 2" in out
+    assert "safety              : OK" in out
+
+
+def test_matrix_subcommand(tmp_path, capsys):
+    dump = tmp_path / "cells.json"
+    code = main(
+        [
+            "matrix",
+            "--protocols", "eesmr", "sync-hotstuff",
+            "--faults", "none", "crash-leader",
+            "--media", "ble",
+            "-n", "5", "-f", "1", "-k", "2",
+            "--blocks", "2",
+            "--dump-specs", str(dump),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cells run           : 4" in out
+    assert "invariants          : OK" in out
+    specs = json.loads(dump.read_text())
+    assert len(specs) == 4
+    # Every dumped cell round-trips through the declarative schema.
+    for data in specs:
+        assert DeploymentSpec.from_dict(data).n == 5
 
 
 def test_parser_rejects_unknown_command():

@@ -1,0 +1,132 @@
+"""Property tests: the declarative DeploymentSpec schema round-trips.
+
+``DeploymentSpec.to_dict`` is the one schema every surface serialises
+through (CLI ``--spec`` files, matrix cell dumps, benchmark manifests);
+these properties pin that an arbitrary spec — including composed fault
+schedules and the adaptive atoms — survives ``to_dict → json → from_dict``
+unchanged, and that validation rejects malformed input early.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adversary import ALLOWED_BEHAVIOURS, FaultPlan
+from repro.eval.runner import MEDIA, PROTOCOLS, TOPOLOGIES, DeploymentSpec
+from repro.testkit import faults
+
+
+# ------------------------------------------------------------- strategies
+fault_atoms = st.one_of(
+    st.builds(faults.CrashAt, node=st.integers(0, 9), time=st.floats(0, 10)),
+    st.builds(faults.StallAt, node=st.integers(0, 9), round=st.integers(1, 8)),
+    st.builds(faults.EquivocateAt, node=st.integers(0, 9), round=st.integers(1, 8)),
+    st.builds(faults.SilentFrom, node=st.integers(0, 9)),
+    st.builds(
+        faults.RelayDropWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 5),
+        end=st.floats(5, 10),
+    ),
+    st.builds(
+        faults.PartitionWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 5),
+        heal=st.floats(5, 10),
+    ),
+    st.builds(
+        faults.LeaderFollowingCrash,
+        budget=st.integers(1, 3),
+        start=st.floats(0, 5),
+        interval=st.floats(0.1, 4),
+    ),
+)
+
+# Distinct-node atom tuples (a node may carry at most one Byzantine
+# behaviour, which FaultSchedule validates).
+schedules = st.lists(fault_atoms, min_size=0, max_size=4).map(
+    lambda atoms: faults.FaultSchedule(
+        tuple({a.node: a for a in atoms}.values())  # one atom per node
+    )
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    faulty=st.lists(st.integers(0, 9), max_size=3, unique=True).map(tuple),
+    behaviour=st.sampled_from(ALLOWED_BEHAVIOURS),
+    trigger_round=st.integers(1, 8),
+    crash_time=st.floats(0, 10),
+)
+
+
+@st.composite
+def specs(draw):
+    n = draw(st.integers(3, 12))
+    use_schedule = draw(st.booleans())
+    return DeploymentSpec(
+        protocol=draw(st.sampled_from(PROTOCOLS)),
+        n=n,
+        f=draw(st.integers(0, (n - 1) // 2)),
+        k=draw(st.integers(1, n - 1)),
+        topology=draw(st.sampled_from(TOPOLOGIES)),
+        edges_per_node=draw(st.integers(1, 3)),
+        topology_seed=draw(st.one_of(st.none(), st.integers(0, 2**31))),
+        medium=draw(st.sampled_from(MEDIA)),
+        hop_delay=draw(st.floats(0.1, 4)),
+        delta=draw(st.one_of(st.none(), st.floats(1, 40))),
+        signature_scheme=draw(st.sampled_from(["rsa-1024", "rsa-2048", "ecdsa-p256"])),
+        batch_size=draw(st.integers(1, 4)),
+        command_payload_bytes=draw(st.integers(1, 512)),
+        target_height=draw(st.integers(1, 8)),
+        block_interval=draw(st.floats(0, 4)),
+        fault_plan=draw(fault_plans),
+        fault_schedule=draw(schedules) if use_schedule else None,
+        seed=draw(st.integers(0, 2**31)),
+        charge_sleep=draw(st.booleans()),
+        jitter=draw(st.booleans()),
+    )
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=150, deadline=None)
+@given(specs())
+def test_spec_roundtrips_through_json(spec):
+    encoded = json.dumps(spec.to_dict(), sort_keys=True)
+    rebuilt = DeploymentSpec.from_dict(json.loads(encoded))
+    assert rebuilt == spec
+    # And the re-encoded form is byte-identical (canonical schema).
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == encoded
+
+
+@settings(max_examples=50, deadline=None)
+@given(schedules)
+def test_schedule_describe_roundtrips(schedule):
+    rebuilt = faults.schedule_from_dict(schedule.describe())
+    assert rebuilt == schedule
+    assert rebuilt.describe() == schedule.describe()
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = DeploymentSpec().to_dict()
+    data["warp_factor"] = 9
+    with pytest.raises(ValueError, match="warp_factor"):
+        DeploymentSpec.from_dict(data)
+
+
+def test_fault_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        faults.fault_from_dict({"kind": "Gremlin", "node": 0})
+
+
+def test_spec_validates_topology_early():
+    with pytest.raises(ValueError, match="unknown topology"):
+        DeploymentSpec(topology="moebius-strip")
+
+
+def test_spec_validates_edges_per_node_early():
+    with pytest.raises(ValueError, match="edges_per_node"):
+        DeploymentSpec(topology="random-kcast", edges_per_node=0)
+    # Only random-kcast constrains edges_per_node.
+    DeploymentSpec(topology="ring-kcast", edges_per_node=0)
