@@ -14,6 +14,11 @@
 #   make bench-smoke  quick end-to-end check of the benchmark harness
 #   make bench-gate   validate gates.*.passed in the committed
 #                     BENCH_hotpath.json without running benchmarks
+#   make test-corpus  replay the committed fuzz reproducers in
+#                     tests/corpus (also part of test-fast; named target
+#                     for the PR-blocking CI step)
+#   make fuzz         a short local fuzz campaign (SEED=n ITERATIONS=n to
+#                     override; see docs/fuzzing.md)
 #   make lint         ruff over src/tests/examples (critical rules only:
 #                     syntax errors, undefined names, misused f-strings —
 #                     see ruff.toml)
@@ -24,10 +29,18 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all bench bench-smoke bench-gate lint
+.PHONY: test-fast test-matrix test-all test-corpus fuzz bench bench-smoke bench-gate lint
 
 test-fast:
 	$(PYTEST) -x -q
+
+test-corpus:
+	$(PYTEST) -q tests/corpus
+
+SEED ?= 0
+ITERATIONS ?= 20
+fuzz:
+	$(PYTHON) -m repro.cli fuzz --seed $(SEED) --iterations $(ITERATIONS)
 
 lint:
 	python -m ruff check src tests examples

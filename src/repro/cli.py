@@ -10,7 +10,10 @@ the common workflows:
   media × topologies) through the session runner and invariant battery;
 * ``experiment``  — regenerate one of the paper's tables/figures by name;
 * ``feasibility`` — print the Fig. 1 feasible-region summary for a payload
-  range and system-size range.
+  range and system-size range;
+* ``fuzz``        — run the closed-loop fault-schedule fuzzer (generate →
+  detect → shrink) and optionally persist shrunk reproducers to a corpus
+  directory.
 """
 
 from __future__ import annotations
@@ -100,6 +103,38 @@ def build_parser() -> argparse.ArgumentParser:
     feas = sub.add_parser("feasibility", help="Fig. 1 feasible-region summary")
     feas.add_argument("--max-nodes", type=int, default=40)
     feas.add_argument("--payloads", type=int, nargs="+", default=[256, 1024, 4096])
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz random fault schedules through the invariant battery"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="fuzz seed (schedule stream)")
+    fuzz.add_argument("--iterations", type=int, default=20, help="schedules to try")
+    fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        help="persist shrunk reproducers as corpus entries under this directory",
+    )
+    fuzz.add_argument(
+        "--report",
+        metavar="FILE.json",
+        help="also write the full canonical campaign report as JSON",
+    )
+    fuzz.add_argument("--nodes", "-n", type=int, default=5)
+    fuzz.add_argument("--kcast", "-k", type=int, default=2)
+    fuzz.add_argument("--topology", default="ring-kcast", choices=list(TOPOLOGIES))
+    fuzz.add_argument("--medium", default="ble", choices=list(MEDIA))
+    fuzz.add_argument("--blocks", type=int, default=3)
+    fuzz.add_argument("--block-interval", type=float, default=2.0)
+    fuzz.add_argument("--max-atoms", type=int, default=3)
+    fuzz.add_argument(
+        "--kinds",
+        nargs="+",
+        default=None,
+        help="fault-atom kinds to draw from (default: every registered kind)",
+    )
+    fuzz.add_argument(
+        "--protocols", nargs="+", default=list(PROTOCOLS), choices=list(PROTOCOLS)
+    )
     return parser
 
 
@@ -201,6 +236,51 @@ def _cmd_feasibility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    # Lazy import: the fuzzer pulls in the session/testkit stack.
+    from pathlib import Path
+
+    from repro.fuzz import DEFAULT_KINDS, FuzzConfig, Fuzzer
+
+    config = FuzzConfig(
+        n=args.nodes,
+        k=args.kcast,
+        topology=args.topology,
+        medium=args.medium,
+        target_height=args.blocks,
+        block_interval=args.block_interval,
+        max_atoms=args.max_atoms,
+        kinds=tuple(args.kinds) if args.kinds else DEFAULT_KINDS,
+        protocols=tuple(args.protocols),
+    )
+    fuzzer = Fuzzer(config, seed=args.seed)
+    report = fuzzer.run(args.iterations)
+    print(f"seed                : {report.seed}")
+    print(f"schedules tried     : {report.iterations}")
+    print(f"candidates rejected : {report.rejected} (infeasible, redrawn)")
+    print(f"protocol runs       : {report.runs}")
+    print(f"findings            : {len(report.findings)}")
+    for finding in report.findings:
+        shrunk = finding.shrunk
+        atoms = ", ".join(atom["kind"] for atom in shrunk.schedule.describe())
+        key = ", ".join(f"{p}/{inv}" for p, inv in sorted(shrunk.failure_key))
+        print(
+            f"  iter {finding.iteration}: [{atoms}] fails {key} "
+            f"(shrunk in {shrunk.steps} steps / {shrunk.evaluations} evals)"
+        )
+    if args.out and report.findings:
+        written = fuzzer.save_findings(report, Path(args.out))
+        for path in written:
+            print(f"  wrote reproducer  : {path}")
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(report_path, "w") as handle:
+            json.dump(report.describe(), handle, indent=2, sort_keys=True)
+        print(f"wrote report        : {args.report}")
+    return 1 if report.failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -212,6 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "feasibility":
         return _cmd_feasibility(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -444,6 +444,20 @@ class SessionBuilder:
         controllers: Tuple[Any, ...] = ()
         if schedule is not None and hasattr(schedule, "controllers"):
             controllers = tuple(schedule.controllers())
+        if controllers and not self.trusted:
+            # Budget-aware provisioning: an adaptive atom picks its victims
+            # mid-run, so quorum sizes must assume its whole budget up
+            # front.  Generated schedules (the fuzzer) hit this path with
+            # arbitrary budgets; failing at build time beats a run whose
+            # realised Byzantine set silently exceeds the f the quorums
+            # were sized for.
+            required = schedule.max_byzantine()
+            if spec.f < required:
+                raise ValueError(
+                    f"schedule may field {required} Byzantine nodes (adaptive "
+                    f"budget included) but the deployment provisions f={spec.f}; "
+                    f"raise f to at least {required}"
+                )
         self.fault_stage = FaultStage(controllers)
         return self.fault_stage
 

@@ -34,6 +34,7 @@ three hooks:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Optional, Tuple
@@ -100,6 +101,15 @@ class Fault:
     def behaviour(self) -> Optional[Tuple[str, dict]]:
         """(behaviour name, kwargs) for the EESMR adversary class table."""
         return None
+
+    def narrowed(self, start: float, end: float) -> "Fault":
+        """A copy with its impairment window shrunk to ``[start, end)``.
+
+        Only windowed atoms (:class:`RelayDropWindow`,
+        :class:`PartitionWindow`) support narrowing; it is the shrinker's
+        second reduction pass.  The new window must lie inside the old one.
+        """
+        raise TypeError(f"{type(self).__name__} has no window to narrow")
 
     def failstop_time(self) -> Optional[float]:
         """When baseline protocols should fail-stop this node."""
@@ -218,6 +228,13 @@ class RelayDropWindow(Fault):
     def impairment(self) -> Optional[Tuple[float, float]]:
         return (self.start, self.end)
 
+    def narrowed(self, start: float, end: float) -> "RelayDropWindow":
+        if start < self.start or end > self.end:
+            raise ValueError(
+                f"[{start}, {end}) is not inside the window [{self.start}, {self.end})"
+            )
+        return dataclasses.replace(self, start=start, end=end)
+
     def install(self, sim, network, replicas) -> None:
         # The denial is refcounted *in the network*, shared across every
         # composed fault touching this node: interleaved windows lift relay
@@ -250,6 +267,13 @@ class PartitionWindow(Fault):
 
     def impairment(self) -> Optional[Tuple[float, float]]:
         return (self.start, self.heal)
+
+    def narrowed(self, start: float, end: float) -> "PartitionWindow":
+        if start < self.start or end > self.heal:
+            raise ValueError(
+                f"[{start}, {end}) is not inside the window [{self.start}, {self.heal})"
+            )
+        return dataclasses.replace(self, start=start, heal=end)
 
     def install(self, sim, network, replicas) -> None:
         sim.schedule_at(
@@ -294,12 +318,26 @@ class LeaderFollowingCrash(Fault):
     liveness_exempt: ClassVar[bool] = True
 
     def __post_init__(self) -> None:
+        # Type checks matter here because adaptive atoms are routinely
+        # rebuilt from JSON (corpus entries, ``--spec`` files): a budget of
+        # 1.5 or "2" would pass the range checks below yet silently break
+        # the controller's spent-budget accounting mid-run.
+        if isinstance(self.budget, bool) or not isinstance(self.budget, int):
+            raise ValueError(f"adaptive budget must be an int, got {self.budget!r}")
+        for name in ("start", "interval"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"adaptive {name} must be a number, got {value!r}")
         if self.budget < 1:
             raise ValueError(f"adaptive budget must be >= 1, got {self.budget}")
         if self.interval <= 0:
             raise ValueError(f"check interval must be positive, got {self.interval}")
         if self.start < 0:
             raise ValueError(f"start time cannot be negative, got {self.start}")
+
+    def with_budget(self, budget: int) -> "LeaderFollowingCrash":
+        """A copy provisioned for a smaller (or larger) victim budget."""
+        return dataclasses.replace(self, budget=budget)
 
     # ------------------------------------------------------- dynamic targets
     def nodes(self) -> Tuple[int, ...]:
@@ -362,6 +400,22 @@ class FaultSchedule:
 
     def __len__(self) -> int:
         return len(self.faults)
+
+    # ---------------------------------------------------------------- surgery
+    # The fuzzer's shrinker reduces failing schedules by removing atoms,
+    # narrowing windows and lowering adaptive budgets; each operation
+    # returns a fresh schedule (atoms are immutable value objects).
+    def without_atom(self, index: int) -> "FaultSchedule":
+        """A new schedule with the atom at ``index`` removed."""
+        if not 0 <= index < len(self.faults):
+            raise IndexError(f"atom index {index} out of range for {len(self.faults)} atoms")
+        return FaultSchedule(self.faults[:index] + self.faults[index + 1 :])
+
+    def replace_atom(self, index: int, atom: Fault) -> "FaultSchedule":
+        """A new schedule with the atom at ``index`` swapped for ``atom``."""
+        if not 0 <= index < len(self.faults):
+            raise IndexError(f"atom index {index} out of range for {len(self.faults)} atoms")
+        return FaultSchedule(self.faults[:index] + (atom,) + self.faults[index + 1 :])
 
     # ------------------------------------------------------------ node views
     def byzantine_nodes(self) -> Tuple[int, ...]:
@@ -552,5 +606,16 @@ def fault_from_dict(data: dict) -> Fault:
 
 
 def schedule_from_dict(data: list) -> FaultSchedule:
-    """Rebuild a :class:`FaultSchedule` from :meth:`FaultSchedule.describe`."""
-    return FaultSchedule(tuple(fault_from_dict(entry) for entry in data))
+    """Rebuild a :class:`FaultSchedule` from :meth:`FaultSchedule.describe`.
+
+    Malformed entries — unknown kinds, unexpected fields, values an atom's
+    own validation rejects — are reported with the offending entry's index
+    so a bad corpus file or ``--spec`` schedule names the atom to fix.
+    """
+    atoms = []
+    for index, entry in enumerate(data):
+        try:
+            atoms.append(fault_from_dict(entry))
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"fault entry {index}: {error}") from error
+    return FaultSchedule(tuple(atoms))

@@ -228,6 +228,85 @@ class MatrixReport:
             )
 
 
+def schedule_feasibility(spec: DeploymentSpec) -> Optional[str]:
+    """Why this deployment spec cannot be run meaningfully, or ``None``.
+
+    The one feasibility gate shared by the scenario matrix (skip-with-reason
+    cells) and the fuzzer's generator/detector (reject infeasible random
+    schedules before they are ever run).  Three families of reasons:
+
+    * **quorum bound** — the schedule's Byzantine count must satisfy the
+      protocols' honest-majority assumption ``2f < n`` (the trusted
+      baseline only needs one correct node: its control node orders rounds
+      on a timer and never waits on faulty leaves);
+    * **topology fault bound** — the correct nodes must remain strongly
+      connected with every concurrently relay-impaired node set removed.
+      This is the per-schedule instantiation of the Lemma A.5 necessary
+      condition (``f < k`` on the ring k-cast); adaptive budgets are
+      charged against the worst *adversarial* placement;
+    * **unconstructible topology** — the spec's topology parameters cannot
+      produce a graph at all (an unsatisfiable ``random-kcast`` request,
+      or bounded connectivity resampling exhausted).
+    """
+    n = spec.n
+    schedule = spec.fault_schedule
+    if schedule is not None:
+        outside = [p for p in schedule.perturbed_nodes() if not 0 <= p < n]
+        if outside:
+            return f"fault targets nodes {outside} outside the deployment (n={n})"
+    byzantine = schedule.byzantine_nodes() if schedule is not None else ()
+    if spec.protocol == "trusted-baseline":
+        # Leaves only talk to the trusted control node over the control
+        # star (spec.topology is never built); feasibility just needs a
+        # correct node left to serve — but the deployment still shares the
+        # synchronous ProtocolConfig, whose f < n/2 bound gates the build.
+        if len(byzantine) >= n:
+            return f"all {n} nodes Byzantine; nothing left to check"
+        if 2 * spec.f >= n:
+            return (
+                f"f={spec.f} faulty leaves cannot be provisioned under the "
+                f"shared synchronous config bound f < n/2 (n={n})"
+            )
+        return None
+    if 2 * spec.f >= n:
+        worst = schedule.max_byzantine() if schedule is not None else len(byzantine)
+        return (
+            f"{worst} Byzantine nodes break the honest-majority "
+            f"bound 2f < n (f={spec.f}, n={n})"
+        )
+    try:
+        topology = ProtocolRunner().build_topology(spec)
+    except (ValueError, RuntimeError) as error:
+        return f"topology {spec.topology} cannot be built: {error}"
+    if schedule is None:
+        return None
+    dynamic = schedule.dynamic_budget()
+    if dynamic:
+        # Adaptive victims are adversarially placed, so the topology
+        # must survive *any* budget-sized subset going silent (plus
+        # whatever the static atoms impair) — Lemma A.5 quantified
+        # over all placements instead of the concrete schedule.
+        static_worst = max(
+            (len(s) for s in schedule.concurrent_impairment_sets()), default=0
+        )
+        bound = topology.max_faults_necessary_condition()
+        if dynamic + static_worst > bound:
+            return (
+                f"adaptive budget {dynamic} (+{static_worst} static) exceeds "
+                f"the Lemma A.5 bound f <= {bound} on {spec.topology} for "
+                f"adversarially placed victims"
+            )
+    for impaired in schedule.concurrent_impairment_sets():
+        if not topology.is_strongly_connected(exclude=impaired):
+            bound = topology.max_faults_necessary_condition()
+            return (
+                f"impaired set {sorted(impaired)} disconnects the correct "
+                f"nodes on {spec.topology} (Lemma A.5 necessary condition: "
+                f"f <= {bound}, schedule impairs {len(impaired)} at once)"
+            )
+    return None
+
+
 class ScenarioMatrix:
     """Enumerates and runs the scenario cross-product with invariant checks."""
 
@@ -317,75 +396,15 @@ class ScenarioMatrix:
     ) -> Optional[str]:
         """Why this cell cannot be run meaningfully, or ``None`` if it can.
 
-        Three families of reasons:
-
-        * **quorum bound** — the schedule's Byzantine count must satisfy
-          the protocols' honest-majority assumption ``2f < n`` (the
-          trusted baseline only needs one correct node: its control node
-          orders rounds on a timer and never waits on faulty leaves);
-        * **topology fault bound** — the correct nodes must remain
-          strongly connected with every concurrently relay-impaired node
-          set removed.  This is the per-schedule instantiation of the
-          Lemma A.5 necessary condition (``f < k`` on the ring k-cast);
-        * **unconstructible topology** — the cell's topology parameters
-          cannot produce a graph at all (an unsatisfiable ``random-kcast``
-          request, or bounded connectivity resampling exhausted).
+        Delegates to :func:`schedule_feasibility` (the module-level check
+        shared with ``repro.fuzz``); see there for the reason families.
 
         ``spec`` may be passed to reuse an already-built deployment spec
         (``run`` does, so each cell builds its schedule exactly once).
         """
         if spec is None:
             spec = self.build_spec(cell)
-        schedule = spec.fault_schedule
-        if schedule is not None:
-            outside = [p for p in schedule.perturbed_nodes() if not 0 <= p < self.n]
-            if outside:
-                return f"fault targets nodes {outside} outside the deployment (n={self.n})"
-        byzantine = schedule.byzantine_nodes() if schedule is not None else ()
-        if cell.protocol == "trusted-baseline":
-            # Leaves only talk to the trusted control node over the control
-            # star (cell.topology is never built); feasibility just needs a
-            # correct node left to serve.
-            if len(byzantine) >= self.n:
-                return f"all {self.n} nodes Byzantine; nothing left to check"
-            return None
-        if 2 * spec.f >= self.n:
-            worst = schedule.max_byzantine() if schedule is not None else len(byzantine)
-            return (
-                f"{worst} Byzantine nodes break the honest-majority "
-                f"bound 2f < n (f={spec.f}, n={self.n})"
-            )
-        try:
-            topology = ProtocolRunner().build_topology(spec)
-        except (ValueError, RuntimeError) as error:
-            return f"topology {cell.topology} cannot be built: {error}"
-        if schedule is None:
-            return None
-        dynamic = schedule.dynamic_budget()
-        if dynamic:
-            # Adaptive victims are adversarially placed, so the topology
-            # must survive *any* budget-sized subset going silent (plus
-            # whatever the static atoms impair) — Lemma A.5 quantified
-            # over all placements instead of the concrete schedule.
-            static_worst = max(
-                (len(s) for s in schedule.concurrent_impairment_sets()), default=0
-            )
-            bound = topology.max_faults_necessary_condition()
-            if dynamic + static_worst > bound:
-                return (
-                    f"adaptive budget {dynamic} (+{static_worst} static) exceeds "
-                    f"the Lemma A.5 bound f <= {bound} on {cell.topology} for "
-                    f"adversarially placed victims"
-                )
-        for impaired in schedule.concurrent_impairment_sets():
-            if not topology.is_strongly_connected(exclude=impaired):
-                bound = topology.max_faults_necessary_condition()
-                return (
-                    f"impaired set {sorted(impaired)} disconnects the correct "
-                    f"nodes on {cell.topology} (Lemma A.5 necessary condition: "
-                    f"f <= {bound}, schedule impairs {len(impaired)} at once)"
-                )
-        return None
+        return schedule_feasibility(spec)
 
     # ---------------------------------------------------------------- running
     def run_cell(

@@ -1,0 +1,107 @@
+"""Regenerate the committed reproducer corpus, byte for byte.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/corpus/regenerate.py
+
+Every entry here came out of a real fuzz campaign (``repro fuzz`` or the
+planted-mutant meta-tests); this script rebuilds them from their recorded
+schedules so the committed files stay canonical (content-hashed names,
+sorted-key JSON) if the corpus schema ever changes.  Entry files are
+what CI replays — see ``test_corpus_replay.py``.
+"""
+
+from pathlib import Path
+
+from repro.fuzz import FuzzConfig, Corpus
+from repro.testkit.faults import schedule_from_dict
+
+ROOT = Path(__file__).resolve().parent
+
+#: The fuzzer's standard deployment (n=5 ring-k2 over BLE, spaced blocks).
+CONFIG = FuzzConfig()
+
+
+def spec_dict(schedule_entries, protocol):
+    schedule = schedule_from_dict(schedule_entries) if schedule_entries else None
+    return CONFIG.spec_for(schedule, protocol).to_dict()
+
+
+#: A partitioned *leader*: fuzz seed 1 found that a 0.25 s partition of
+#: node 0 forks Sync HotStuff — its 2Δ commit-by-timeout fires while the
+#: rest of the cluster view-changes past it.  A synchronous protocol is
+#: only safe while the synchrony assumption holds; the partition breaks
+#: it, and the fuzzer's shrinker narrowed the break to a single quantum.
+LEADER_PARTITION = [{"kind": "PartitionWindow", "node": 0, "start": 7.0, "heal": 7.25}]
+
+#: Mutant A's shrunk reproducer (see tests/fuzz/mutants.py): one
+#: equivocating leader.  On main the honest commit rule blames instead of
+#: committing a twin, so the replay must be clean.
+EQUIVOCATING_LEADER = [
+    {"kind": "EquivocateAt", "node": 0, "round": 2, "baseline_failstop": 1.0}
+]
+
+#: Mutant B's shrunk reproducer: two short relay-drop windows on adjacent
+#: ring nodes.  On main each heal restores the relay policy (refcounted),
+#: so liveness holds; under the leaked-allow_relay mutant the denials
+#: accumulated and disconnected the ring.
+ADJACENT_DROP_WINDOWS = [
+    {"kind": "RelayDropWindow", "node": 1, "start": 4.75, "end": 5.0},
+    {"kind": "RelayDropWindow", "node": 2, "start": 0.5, "end": 0.75},
+]
+
+
+def regenerate() -> None:
+    corpus = Corpus(ROOT)
+    corpus.add(
+        spec_dict(LEADER_PARTITION, "sync-hotstuff"),
+        expect="violation",
+        found={
+            "seed": 1,
+            "iteration": 0,
+            "failures": [["sync-hotstuff", "agreement"]],
+            "source": "repro fuzz --seed 1",
+        },
+        note="leader partition breaks the synchrony assumption; "
+        "commit-by-timeout forks Sync HotStuff",
+        slug="shs-leader-partition",
+    )
+    corpus.add(
+        spec_dict(LEADER_PARTITION, "eesmr"),
+        expect="clean",
+        found={"seed": 1, "source": "repro fuzz --seed 1 (differential control)"},
+        note="the same leader partition under EESMR: the 4Δ quiet-period "
+        "commit survives where the baseline forks",
+        slug="eesmr-leader-partition",
+    )
+    corpus.add(
+        spec_dict(EQUIVOCATING_LEADER, "eesmr"),
+        expect="clean",
+        found={
+            "seed": 2,
+            "mutant": "CommitRuleMutantBuilder",
+            "failures": [["eesmr", "agreement"]],
+            "source": "tests/fuzz/test_planted_mutants.py",
+        },
+        note="mutant A reproducer: forks the broken commit rule, clean on main",
+        slug="eesmr-equivocating-leader",
+    )
+    corpus.add(
+        spec_dict(ADJACENT_DROP_WINDOWS, "eesmr"),
+        expect="clean",
+        found={
+            "seed": 1,
+            "mutant": "LeakyRelayMutantBuilder",
+            "failures": [["eesmr", "liveness"]],
+            "source": "tests/fuzz/test_planted_mutants.py",
+        },
+        note="mutant B reproducer: starves liveness when relay heals leak, "
+        "clean on main",
+        slug="eesmr-adjacent-drop-windows",
+    )
+    for entry in Corpus(ROOT).entries():
+        print(f"{entry.path.name}: expect={entry.expect}")
+
+
+if __name__ == "__main__":
+    regenerate()

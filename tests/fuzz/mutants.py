@@ -1,0 +1,64 @@
+"""Planted bugs for the fuzzer meta-tests.
+
+A fuzzer that never finds anything proves nothing — these builders plant
+two deliberate, realistic bugs for `test_planted_mutants.py` to hunt.
+Each is a :class:`~repro.session.builder.SessionBuilder` subclass that the
+:class:`~repro.fuzz.detect.Detector` uses for every run (its
+``builder_factory`` hook), so the mutation applies to detection *and* to
+every shrink re-verification — the shrinker chases the planted bug
+through the same broken build.
+
+* **Mutant A (commit rule)** — honest EESMR replicas are replaced by
+  :class:`ForkOnEquivocation`, which reacts to an equivocation proof by
+  *committing* one of the twins (chosen by pid parity) instead of blaming.
+  Any schedule containing an ``EquivocateAt`` forks the cluster — an
+  agreement violation.  The same mutation style as the PR 1 forking-mutant
+  meta-test, now found by search instead of by hand.
+* **Mutant B (relay restore)** — the network's ``allow_relay`` is made a
+  no-op, so every ``RelayDropWindow`` heal leaks its relay denial: windows
+  accumulate permanent non-relaying nodes.  Enough windows on distinct
+  ring neighbours eventually disconnect a correct node — a liveness
+  violation.  This is exactly the class of bug the refcounted
+  deny/allow-relay machinery exists to prevent (the PR 3
+  composition-window regressions).
+"""
+
+from repro.core.eesmr.replica import EesmrReplica
+from repro.session.builder import MediumStage, SessionBuilder
+
+
+class ForkOnEquivocation(EesmrReplica):
+    """Deliberately broken: commits an equivocated round immediately,
+    choosing between the twins by pid parity — even and odd nodes commit
+    conflicting blocks at the same height."""
+
+    def _handle_equivocation(self, view, first, second):
+        self.commit_timers.cancel_all()
+        twins = sorted((first.data, second.data), key=lambda block: block.block_hash)
+        choice = twins[0] if self.pid % 2 == 0 else twins[1]
+        self.store_block(choice)
+        self.commit_chain(choice)
+
+
+class CommitRuleMutantBuilder(SessionBuilder):
+    """Mutant A: every *honest* EESMR node runs the broken commit rule.
+
+    Byzantine substitutions from the fault schedule are left intact — the
+    schedule still needs an ``EquivocateAt`` to produce the twins the
+    broken rule mis-commits.
+    """
+
+    def _eesmr_class_for(self, pid):
+        cls, kwargs = super()._eesmr_class_for(pid)
+        if cls is EesmrReplica:
+            return ForkOnEquivocation, kwargs
+        return cls, kwargs
+
+
+class LeakyRelayMutantBuilder(SessionBuilder):
+    """Mutant B: relay denials are never popped — window heals leak."""
+
+    def build_medium_stage(self) -> MediumStage:
+        stage = super().build_medium_stage()
+        stage.network.allow_relay = lambda pid: None
+        return stage

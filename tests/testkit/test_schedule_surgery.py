@@ -1,0 +1,95 @@
+"""The schedule surgery API the shrinker is built on.
+
+``FaultSchedule.without_atom`` / ``replace_atom`` and the per-atom
+``narrowed`` / ``with_budget`` constructors are the shrinker's only
+mutation primitives — these tests pin their contracts (immutability,
+bounds checks, window-containment validation) independently of any
+shrinking run.
+"""
+
+import pytest
+
+from repro.testkit.faults import (
+    CrashAt,
+    EquivocateAt,
+    FaultSchedule,
+    LeaderFollowingCrash,
+    PartitionWindow,
+    RelayDropWindow,
+)
+
+
+@pytest.fixture
+def schedule():
+    return FaultSchedule(
+        (CrashAt(1, time=2.0), RelayDropWindow(2, 1.0, 5.0), EquivocateAt(0, round=2))
+    )
+
+
+# ---------------------------------------------------------------- without_atom
+def test_without_atom_removes_exactly_one(schedule):
+    smaller = schedule.without_atom(1)
+    assert [type(a).__name__ for a in smaller.faults] == ["CrashAt", "EquivocateAt"]
+    # The original is untouched (immutability).
+    assert len(schedule.faults) == 3
+
+
+def test_without_atom_bounds_checked(schedule):
+    for index in (-1, 3):
+        with pytest.raises(IndexError, match="out of range"):
+            schedule.without_atom(index)
+
+
+# ---------------------------------------------------------------- replace_atom
+def test_replace_atom_swaps_in_place(schedule):
+    replaced = schedule.replace_atom(0, CrashAt(1, time=4.0))
+    assert replaced.faults[0].time == 4.0
+    assert schedule.faults[0].time == 2.0
+    assert replaced.faults[1:] == schedule.faults[1:]
+
+
+def test_replace_atom_bounds_checked(schedule):
+    with pytest.raises(IndexError, match="out of range"):
+        schedule.replace_atom(5, CrashAt(0, time=0.0))
+
+
+# -------------------------------------------------------------------- narrowed
+def test_relay_drop_window_narrows_within_itself():
+    atom = RelayDropWindow(2, 1.0, 5.0)
+    narrowed = atom.narrowed(2.0, 3.0)
+    assert (narrowed.start, narrowed.end) == (2.0, 3.0)
+    assert narrowed.node == 2
+    assert (atom.start, atom.end) == (1.0, 5.0)
+
+
+def test_partition_window_narrows_within_itself():
+    atom = PartitionWindow(3, 0.0, 10.0)
+    narrowed = atom.narrowed(4.0, 6.0)
+    assert (narrowed.start, narrowed.heal) == (4.0, 6.0)
+
+
+def test_narrowed_rejects_windows_outside_the_original():
+    atom = RelayDropWindow(2, 1.0, 5.0)
+    for start, end in ((0.5, 3.0), (2.0, 6.0), (0.0, 9.0)):
+        with pytest.raises(ValueError, match="not inside"):
+            atom.narrowed(start, end)
+
+
+def test_windowless_atoms_cannot_narrow():
+    with pytest.raises(TypeError, match="CrashAt has no window to narrow"):
+        CrashAt(1, time=2.0).narrowed(0.0, 1.0)
+
+
+# ----------------------------------------------------------------- with_budget
+def test_with_budget_steps_down():
+    atom = LeaderFollowingCrash(budget=2, start=1.0, interval=1.0)
+    smaller = atom.with_budget(1)
+    assert smaller.budget == 1
+    assert (smaller.start, smaller.interval) == (atom.start, atom.interval)
+    assert atom.budget == 2
+
+
+def test_with_budget_still_validates():
+    atom = LeaderFollowingCrash(budget=2, start=1.0, interval=1.0)
+    with pytest.raises(ValueError):
+        atom.with_budget(0)
