@@ -29,13 +29,16 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all test-corpus fuzz bench bench-smoke bench-gate lint
+.PHONY: test-fast test-matrix test-all test-corpus test-recovery fuzz bench bench-smoke bench-gate lint
 
 test-fast:
 	$(PYTEST) -x -q
 
 test-corpus:
 	$(PYTEST) -q tests/corpus
+
+test-recovery:
+	$(PYTEST) -q -m recovery
 
 SEED ?= 0
 ITERATIONS ?= 20

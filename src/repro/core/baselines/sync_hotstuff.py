@@ -48,6 +48,12 @@ class SyncHotStuffReplica(BaseReplica):
     #: Human-readable protocol name used by the experiment harness.
     protocol_name = "sync-hotstuff"
 
+    #: Sync HotStuff forms explicit vote certificates, so catch-up
+    #: responses must carry one over the served tip: a recovering node
+    #: never adopts an uncertified suffix (see BaseReplica's sync
+    #: handlers).
+    sync_requires_certificate = True
+
     #: How votes propagate.  ``"partial"`` mirrors the paper's measurement
     #: setup ("we made simplifying assumptions in favor of Sync HotStuff, by
     #: partially implementing vote forwarding"): a vote is multicast one hop
@@ -120,6 +126,8 @@ class SyncHotStuffReplica(BaseReplica):
             MessageType.BLAME: self._on_blame,
             MessageType.BLAME_QC: self._on_blame_qc,
             MessageType.SHS_STATUS: self._on_status,
+            MessageType.SYNC_REQUEST: self._on_sync_request,
+            MessageType.SYNC_RESPONSE: self._on_sync_response,
         }
         handler = handlers.get(message.msg_type)
         if handler is not None:
@@ -314,6 +322,10 @@ class SyncHotStuffReplica(BaseReplica):
             if self.verify_quorum_certificate(cert):
                 self.store_block(cert.block)
                 self.certs.setdefault(cert.block.block_hash, cert)
+
+    def _sync_tip_certificate(self, tip: Block) -> Optional[QuorumCertificate]:
+        """Serve the vote certificate for a caught-up tip, if we hold one."""
+        return self.certs.get(tip.block_hash)
 
     def _highest_certified(self) -> tuple[Block, Optional[QuorumCertificate]]:
         """The highest block for which this node holds a certificate."""

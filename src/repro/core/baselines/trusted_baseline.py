@@ -136,6 +136,16 @@ class TrustedBaselineReplica(BaseReplica):
     def on_message(self, sender: int, message: Any) -> None:
         if not isinstance(message, ProtocolMessage):
             return
+        # Catch-up state transfer between leaves: the control node keeps no
+        # per-leaf delivery state, so a leaf that missed TB_ORDERs (power
+        # cycle, partition) recovers from its peers.  With no certificates
+        # in this protocol, adoption needs f+1 matching peer responses.
+        if message.msg_type == MessageType.SYNC_REQUEST:
+            self._on_sync_request(message)
+            return
+        if message.msg_type == MessageType.SYNC_RESPONSE:
+            self._on_sync_response(message)
+            return
         if message.msg_type != MessageType.TB_ORDER or sender != self.control_node_id:
             return
         block = message.data

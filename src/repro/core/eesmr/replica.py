@@ -116,4 +116,9 @@ EesmrReplica._HANDLERS = {
     MessageType.COMMIT_QC: EesmrReplica._on_commit_qc,
     MessageType.NEW_VIEW_PROPOSAL: EesmrReplica._on_new_view_proposal,
     MessageType.VOTE: EesmrReplica._on_vote,
+    # Catch-up state transfer (shared BaseReplica handlers): EESMR has no
+    # steady-state certificates (commits are quiet-period timeouts), so
+    # recovering nodes adopt on f+1 matching peer responses instead.
+    MessageType.SYNC_REQUEST: EesmrReplica._on_sync_request,
+    MessageType.SYNC_RESPONSE: EesmrReplica._on_sync_response,
 }

@@ -87,6 +87,9 @@ class MessageType(str, Enum):
     # Trusted baseline.
     TB_REQUEST = "tb_request"
     TB_ORDER = "tb_order"
+    # Catch-up state transfer (all protocol families, repro.recovery).
+    SYNC_REQUEST = "sync_request"
+    SYNC_RESPONSE = "sync_response"
 
 
 def payload_wire_size(payload: Any) -> int:

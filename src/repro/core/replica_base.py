@@ -10,7 +10,7 @@ OptSync, the trusted baseline) subclass it and implement message handling.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.blocks import Block, BlockStore, GENESIS
 from repro.core.client import AckRouter
@@ -37,6 +37,20 @@ from repro.sim.scheduler import Simulator
 
 class BaseReplica(Process):
     """Common state and helpers for protocol replicas."""
+
+    #: Whether adopting a synced suffix requires a verified certificate
+    #: over its tip.  Protocols with explicit certificates (Sync HotStuff,
+    #: OptSync) set this — an uncertified suffix is never committed.
+    #: Certificate-free protocols (EESMR commits by quiet period, the
+    #: trusted baseline by control-node signature) instead require
+    #: matching responses from f+1 distinct peers, at least one of which
+    #: is correct.
+    sync_requires_certificate = False
+    #: Whether this replica attaches its highest certificate when serving
+    #: sync responses (the planted recovery mutant flips this off).
+    sync_serve_certificates = True
+    #: Upper bound on blocks per sync response.
+    sync_max_batch = 64
 
     def __init__(
         self,
@@ -70,6 +84,11 @@ class BaseReplica(Process):
         #: When set, the replica reports block commits and completed view
         #: changes through it; ``None`` keeps the hot path hook-free.
         self.hooks: Optional[Any] = None
+
+        #: Certificate-free sync adoption state: (height, tip hash) ->
+        #: distinct responders vouching for that tip (see
+        #: :meth:`_on_sync_response`).
+        self._sync_confirmations: Dict[Tuple[int, str], Set[int]] = {}
 
     # --------------------------------------------------------------- leader
     def leader_of(self, view: View) -> NodeId:
@@ -187,6 +206,112 @@ class BaseReplica(Process):
             for committed in newly_committed:
                 self.hooks.block_commit(self.pid, committed, self.v_cur, self.sim.now)
         return newly_committed
+
+    # ------------------------------------------------- catch-up state transfer
+    # The repro.recovery subsystem drives this protocol: a
+    # RecoveryController makes a healed/rebooted node call
+    # :meth:`request_sync`; live peers answer from their committed log via
+    # :meth:`_on_sync_request`; the recovering node adopts (in
+    # :meth:`_on_sync_response`) only suffixes that verifiably extend its
+    # own committed chain.  All messages ride the normal unicast path, so
+    # radio and crypto energy accounting stays honest.
+
+    def restart(self) -> None:
+        """Power back on after a :class:`CrashRecoverWindow` (state intact).
+
+        The node rejoins passively: dead protocol timers are not re-armed;
+        the recovery controller closes the height gap via catch-up sync,
+        and the replica answers any new protocol traffic normally.
+        """
+        self.recover()
+
+    def request_sync(self, peer: NodeId) -> None:
+        """Solicit missing blocks above our committed height from ``peer``."""
+        message = self.sign_message(
+            MessageType.SYNC_REQUEST, {"height": self.committed_height}
+        )
+        self.send(peer, message)
+
+    def _sync_tip_certificate(self, tip: Block) -> Optional[QuorumCertificate]:
+        """The certificate this replica can attach for a served tip, if any."""
+        return None
+
+    def _on_sync_request(self, message: ProtocolMessage) -> None:
+        if not self.verify_signed_message(message):
+            return
+        data = message.data
+        theirs = data.get("height") if isinstance(data, dict) else None
+        mine = self.committed_height
+        if not isinstance(theirs, int) or isinstance(theirs, bool) or theirs >= mine:
+            return
+        base = max(theirs, 0)
+        top = min(mine, base + self.sync_max_batch)
+        suffix = []
+        for height in range(base + 1, top + 1):
+            block = self.log.block_at(height)
+            if block is None:
+                return
+            suffix.append(block)
+        if not suffix:
+            return
+        cert = None
+        if self.sync_serve_certificates:
+            cert = self._sync_tip_certificate(suffix[-1])
+        reply = self.sign_message(
+            MessageType.SYNC_RESPONSE,
+            {"blocks": tuple(suffix), "cert": cert, "height": mine},
+        )
+        self.send(message.sender, reply)
+
+    def _on_sync_response(self, message: ProtocolMessage) -> None:
+        if not self.verify_signed_message(message):
+            return
+        data = message.data
+        if not isinstance(data, dict):
+            return
+        blocks = data.get("blocks") or ()
+        if not blocks or not all(isinstance(b, Block) for b in blocks):
+            return
+        for parent, child in zip(blocks, blocks[1:]):
+            if child.parent_hash != parent.block_hash or child.height != parent.height + 1:
+                return
+        tip = blocks[-1]
+        if tip.height <= self.committed_height:
+            return
+        for block in blocks:
+            self.store_block(block)
+        # Refuse forked or dangling suffixes outright: the chain must run
+        # through our own committed tip, or adopting it would conflict
+        # with what we already executed (the controller rotates peers on
+        # such failed attempts instead).
+        if not self.blocks.has_ancestry(tip) or not self._sync_extends_commit(tip):
+            return
+        cert = data.get("cert")
+        if (
+            isinstance(cert, QuorumCertificate)
+            and cert.block is not None
+            and cert.block.block_hash == tip.block_hash
+        ):
+            if self.verify_quorum_certificate(cert):
+                self.commit_chain(tip)
+            return
+        if self.sync_requires_certificate:
+            return
+        key = (tip.height, tip.block_hash)
+        vouchers = self._sync_confirmations.setdefault(key, set())
+        vouchers.add(message.sender)
+        if len(vouchers) >= self.config.f + 1:
+            self.commit_chain(tip)
+
+    def _sync_extends_commit(self, tip: Block) -> bool:
+        """Whether ``tip``'s ancestry runs through our committed tip."""
+        block = tip
+        while block.height > self.b_com.height:
+            parent = self.blocks.get(block.parent_hash)
+            if parent is None:
+                return False
+            block = parent
+        return block.block_hash == self.b_com.block_hash
 
     # ---------------------------------------------------------------- client
     def submit_commands(self, commands: Iterable[Command]) -> int:

@@ -2,8 +2,9 @@
 
 :class:`ScheduleGenerator` composes random
 :class:`~repro.testkit.faults.FaultSchedule`\\ s from the testkit's fault
-atoms — crash/stall/equivocate/silent behaviours, relay-drop and
-partition windows, and the adaptive :class:`LeaderFollowingCrash` — under
+atoms — crash/stall/equivocate/silent behaviours, relay-drop, partition
+and crash-recover windows, and the adaptive
+:class:`LeaderFollowingCrash` — under
 a :class:`FuzzConfig` describing the deployment the schedules will run
 against.
 
@@ -40,6 +41,7 @@ DEFAULT_KINDS: Tuple[str, ...] = (
     "SilentFrom",
     "RelayDropWindow",
     "PartitionWindow",
+    "CrashRecoverWindow",
     "LeaderFollowingCrash",
 )
 
@@ -187,6 +189,9 @@ class ScheduleGenerator:
         if kind == "PartitionWindow":
             start, heal = self._window()
             return faults.PartitionWindow(node, start, heal)
+        if kind == "CrashRecoverWindow":
+            start, heal = self._window()
+            return faults.CrashRecoverWindow(node, start, heal)
         if kind == "LeaderFollowingCrash":
             return faults.LeaderFollowingCrash(
                 budget=self.rng.randint(1, self.config.max_adaptive_budget),

@@ -26,6 +26,7 @@ It emulates the paper's CPS deployment:
 from __future__ import annotations
 
 import itertools
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
@@ -219,6 +220,12 @@ class SimulatedNetwork:
         # fault-window transitions (relay denial and partition edges) — the
         # session observer bus's ``on_fault_window`` dispatch.
         self.fault_observer = None
+        # Unbalanced reconnect() calls (no isolation active).  Kept out of
+        # ``NetworkStats`` deliberately: the trace recorder fingerprints
+        # that dataclass field-for-field and golden traces predate this
+        # counter.  Exposed via :meth:`recovery_metrics`.
+        self.unbalanced_reconnects = 0
+        self._warned_unbalanced_reconnect = False
 
     # ---------------------------------------------------------- registration
     def register(self, process: Process) -> None:
@@ -297,16 +304,42 @@ class SimulatedNetwork:
     def reconnect(self, pid: int) -> None:
         """Undo one :meth:`isolate`; the node rejoins at depth zero.
 
-        Reconnecting a node that is not isolated is a no-op.
+        Reconnecting a node that is not isolated leaves the partition
+        state untouched, but it is *counted* (``unbalanced_reconnects``,
+        surfaced via :meth:`recovery_metrics`) and warned about once per
+        network: a silent no-op is exactly how the pre-refcount
+        fault-composition bugs hid, and an unbalanced call almost always
+        means a fault schedule healed a window it never opened.
         """
         depth = self._partition.get(pid, 0)
-        if depth <= 1:
+        if depth == 0:
+            self.unbalanced_reconnects += 1
+            if not self._warned_unbalanced_reconnect:
+                self._warned_unbalanced_reconnect = True
+                warnings.warn(
+                    f"reconnect({pid}) without a matching isolate(): the call "
+                    "is a no-op; check the fault schedule's window composition "
+                    "(further unbalanced reconnects on this network are "
+                    "counted but not warned about)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        if depth == 1:
             self._partition.pop(pid, None)
-            if depth == 1 and self.fault_observer is not None:
+            if self.fault_observer is not None:
                 self.fault_observer(pid, "partition", False, self.sim.now)
         else:
             self._partition[pid] = depth - 1
         self.invalidate_plans()
+
+    def is_partitioned(self, pid: int) -> bool:
+        """Whether ``pid`` is currently cut off by at least one open window."""
+        return pid in self._partition
+
+    def recovery_metrics(self) -> Dict[str, int]:
+        """Net-layer counters surfaced to the recovery subsystem."""
+        return {"unbalanced_reconnects": self.unbalanced_reconnects}
 
     def invalidate_plans(self) -> None:
         """Invalidate every compiled dissemination plan.

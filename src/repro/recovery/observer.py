@@ -1,0 +1,59 @@
+"""Observer that collects catch-up lifecycle events off the session bus."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.session.observers import SessionObserver
+
+#: Chronological record of one bus dispatch: (time, node, event, detail).
+RecoveryEvent = Tuple[float, int, str, dict]
+
+
+class RecoveryObserver(SessionObserver):
+    """Record every ``on_recovery`` dispatch for later assertion/analysis.
+
+    Register it on a :class:`~repro.session.builder.SessionBuilder` (or an
+    :class:`~repro.session.observers.ObserverBus`) and read ``events``
+    after the run; the helpers below slice the record the ways tests
+    usually need.  Event names and detail payloads are documented on
+    :meth:`~repro.session.observers.SessionObserver.on_recovery`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def on_recovery(self, node: int, event: str, detail: dict, time: float) -> None:
+        self.events.append((time, node, event, dict(detail)))
+
+    # -------------------------------------------------------------- queries
+    def events_for(self, node: int) -> List[RecoveryEvent]:
+        """The chronological record restricted to one node."""
+        return [e for e in self.events if e[1] == node]
+
+    def kinds_for(self, node: int) -> List[str]:
+        """Just the event names for one node, in order."""
+        return [e[2] for e in self.events if e[1] == node]
+
+    def counts(self) -> Dict[str, int]:
+        """Event-name histogram across all nodes."""
+        out: Dict[str, int] = {}
+        for _, _, event, _ in self.events:
+            out[event] = out.get(event, 0) + 1
+        return dict(sorted(out.items()))
+
+    def caught_up_nodes(self) -> Tuple[int, ...]:
+        """Nodes that emitted ``caught_up`` at least once, sorted."""
+        return tuple(sorted({n for _, n, e, _ in self.events if e == "caught_up"}))
+
+    def gave_up_nodes(self) -> Tuple[int, ...]:
+        """Nodes that emitted ``gave_up``, sorted."""
+        return tuple(sorted({n for _, n, e, _ in self.events if e == "gave_up"}))
+
+    def summary(self) -> dict:
+        """A JSON-safe snapshot: counts plus terminal outcomes per node."""
+        return {
+            "counts": self.counts(),
+            "caught_up": list(self.caught_up_nodes()),
+            "gave_up": list(self.gave_up_nodes()),
+        }

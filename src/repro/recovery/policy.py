@@ -1,0 +1,52 @@
+"""Retry/backoff policy for catch-up state transfer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Tunable parameters of one recovery campaign.
+
+    The defaults are coupled to :data:`repro.testkit.faults.CATCH_UP_GRACE`
+    (8 s): a *working* catch-up completes well inside the grace window
+    (one or two request round-trips at ``request_timeout`` each), while a
+    *broken* one burns through every retry — over 20 s of virtual time —
+    so the run outlives the grace period, the node's liveness exemption
+    lapses, and the liveness invariant fails.  That coupling is what makes
+    the planted drop-the-final-QC mutant detectable.
+    """
+
+    #: Virtual time to wait for a useful response before declaring one
+    #: attempt timed out.  Must exceed a unicast round trip (2 hops of at
+    #: most ``hop_delay`` each).
+    request_timeout: float = 2.5
+    #: Retries after the initial attempt before giving up.
+    max_retries: int = 4
+    #: Backoff before retry ``i`` (0-based) is
+    #: ``base * factor**i * (1 + jitter_draw)``.
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    #: Jitter draws uniformly from ``[0, jitter)`` — deterministic per
+    #: seed via the campaign's :class:`~repro.sim.rng.SeededRNG`.
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive, got {self.request_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff base/factor out of range: {self.backoff_base}/{self.backoff_factor}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: SeededRNG) -> float:
+        """The jittered delay before 0-based retry ``retry_index``."""
+        base = self.backoff_base * self.backoff_factor**retry_index
+        return base * (1.0 + rng.uniform(0.0, self.jitter))

@@ -51,6 +51,16 @@ class SessionObserver:
     def on_fault_window(self, node: int, kind: str, active: bool, time: float) -> None:
         """A fault window on ``node`` opened (``active``) or closed."""
 
+    def on_recovery(self, node: int, event: str, detail: dict, time: float) -> None:
+        """A catch-up lifecycle event for a recovering ``node``.
+
+        ``event`` is one of ``sync_started``, ``sync_request``,
+        ``sync_timeout``, ``sync_retry``, ``caught_up``, ``gave_up``;
+        ``detail`` carries event-specific fields (peer, attempt, backoff
+        delay, heights).  Fired by the
+        :class:`~repro.recovery.controller.RecoveryController`.
+        """
+
     def on_session_end(self, session, result) -> None:
         """The run is quiescent and ``result`` is assembled."""
 
@@ -62,6 +72,7 @@ OBSERVER_HOOKS = (
     "on_block_commit",
     "on_view_change",
     "on_fault_window",
+    "on_recovery",
     "on_session_end",
 )
 
@@ -127,6 +138,10 @@ class ObserverBus:
     def fault_window(self, node: int, kind: str, active: bool, time: float) -> None:
         for observer in self._observers:
             observer.on_fault_window(node, kind, active, time)
+
+    def recovery(self, node: int, event: str, detail: dict, time: float) -> None:
+        for observer in self._observers:
+            observer.on_recovery(node, event, detail, time)
 
     def session_end(self, session, result) -> None:
         for observer in self._observers:

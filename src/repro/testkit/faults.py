@@ -17,7 +17,9 @@ A :class:`FaultSchedule` is an immutable composition of fault atoms:
 ``RelayDropWindow``    node ``p`` refuses to relay floods during
 ``(p, t0, t1)``        ``[t0, t1)`` but is otherwise correct
 ``PartitionWindow``    node ``p`` is disconnected (sends and receives
-``(p, t0, t1)``        nothing) during ``[t0, t1)``
+``(p, t0, t1)``        nothing) during ``[t0, t1)``, then catches up
+``CrashRecoverWindow`` node ``p`` is powered off during ``[t0, t1)``,
+``(p, t0, t1)``        then reboots with committed state intact
 =====================  =====================================================
 
 The schedule plugs into :class:`repro.eval.runner.ProtocolRunner` through
@@ -41,6 +43,11 @@ from typing import ClassVar, Dict, List, Optional, Tuple
 
 from repro.core.adversary import FaultPlan
 from repro.core.types import Round
+
+#: How long after a heal/restart a recovering node stays liveness-exempt.
+#: Past ``heal + CATCH_UP_GRACE`` the node is held to the full liveness
+#: target again — catch-up (``repro.recovery``) must have worked by then.
+CATCH_UP_GRACE = 8.0
 
 
 def _deny_relay(_origin: int, _message: object) -> bool:
@@ -97,6 +104,17 @@ class Fault:
         instantiated on the concrete fault schedule).
         """
         return None
+
+    def exemption_end(self) -> float:
+        """Virtual time at which this fault's liveness exemption lapses.
+
+        Permanent exemptions (Byzantine behaviours) never lapse
+        (``math.inf``); never-exempt atoms report ``-inf``.  Recovering
+        atoms (:class:`PartitionWindow`, :class:`CrashRecoverWindow`)
+        lapse at ``heal + CATCH_UP_GRACE``: past that instant the node is
+        expected to have caught up and is held to full liveness again.
+        """
+        return math.inf if self.liveness_exempt else -math.inf
 
     def behaviour(self) -> Optional[Tuple[str, dict]]:
         """(behaviour name, kwargs) for the EESMR adversary class table."""
@@ -222,8 +240,11 @@ class RelayDropWindow(Fault):
     liveness_exempt: ClassVar[bool] = False
 
     def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"window end {self.end} before start {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"degenerate drop window [{self.start}, {self.end}): "
+                "end must be strictly after start"
+            )
 
     def impairment(self) -> Optional[Tuple[float, float]]:
         return (self.start, self.end)
@@ -254,7 +275,14 @@ class RelayDropWindow(Fault):
 
 @dataclass(frozen=True)
 class PartitionWindow(Fault):
-    """A node cut off from the network during ``[start, heal)``."""
+    """A node cut off from the network during ``[start, heal)``.
+
+    Exiting the window is no longer a permanent liveness pardon: a
+    :class:`~repro.recovery.controller.RecoveryController` wakes at
+    ``heal`` and drives block/QC catch-up from live peers, and the
+    node's liveness exemption lapses at ``heal + CATCH_UP_GRACE``
+    (:meth:`exemption_end`).
+    """
 
     start: float = 0.0
     heal: float = 0.0
@@ -262,11 +290,17 @@ class PartitionWindow(Fault):
     byzantine: ClassVar[bool] = False
 
     def __post_init__(self) -> None:
-        if self.heal < self.start:
-            raise ValueError(f"heal time {self.heal} before start {self.start}")
+        if self.heal <= self.start:
+            raise ValueError(
+                f"degenerate partition window [{self.start}, {self.heal}): "
+                "heal must be strictly after start"
+            )
 
     def impairment(self) -> Optional[Tuple[float, float]]:
         return (self.start, self.heal)
+
+    def exemption_end(self) -> float:
+        return self.heal + CATCH_UP_GRACE
 
     def narrowed(self, start: float, end: float) -> "PartitionWindow":
         if start < self.start or end > self.heal:
@@ -274,6 +308,11 @@ class PartitionWindow(Fault):
                 f"[{start}, {end}) is not inside the window [{self.start}, {self.heal})"
             )
         return dataclasses.replace(self, start=start, heal=end)
+
+    def controller(self):
+        from repro.recovery.controller import RecoveryController
+
+        return RecoveryController(self)
 
     def install(self, sim, network, replicas) -> None:
         sim.schedule_at(
@@ -286,6 +325,75 @@ class PartitionWindow(Fault):
             lambda: network.reconnect(self.node),
             label=f"fault:heal@{self.node}",
         )
+
+
+@dataclass(frozen=True)
+class CrashRecoverWindow(Fault):
+    """A benign crash-recover cycle: node powered off during ``[start, heal)``.
+
+    Unlike :class:`CrashAt` the node is *correct* — it merely loses power
+    for a window (no relaying, no receiving, timers dead) and reboots at
+    ``heal`` with its committed state intact.  On reboot it does not
+    re-enter the proposal rotation machinery by itself; it relies on the
+    catch-up protocol (:mod:`repro.recovery`) to close the gap, and its
+    liveness exemption lapses at ``heal + CATCH_UP_GRACE``.
+    """
+
+    start: float = 0.0
+    heal: float = 0.0
+
+    byzantine: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        # Type checks matter because these atoms are rebuilt from JSON
+        # (corpus entries, ``--spec`` files) — see LeaderFollowingCrash.
+        for name in ("start", "heal"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"crash-recover {name} must be a number, got {value!r}")
+        if self.start < 0:
+            raise ValueError(f"start time cannot be negative, got {self.start}")
+        if self.heal <= self.start:
+            raise ValueError(
+                f"degenerate crash-recover window [{self.start}, {self.heal}): "
+                "heal must be strictly after start"
+            )
+
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        return (self.start, self.heal)
+
+    def exemption_end(self) -> float:
+        return self.heal + CATCH_UP_GRACE
+
+    def narrowed(self, start: float, end: float) -> "CrashRecoverWindow":
+        if start < self.start or end > self.heal:
+            raise ValueError(
+                f"[{start}, {end}) is not inside the window [{self.start}, {self.heal})"
+            )
+        return dataclasses.replace(self, start=start, heal=end)
+
+    def controller(self):
+        from repro.recovery.controller import RecoveryController
+
+        return RecoveryController(self)
+
+    def install(self, sim, network, replicas) -> None:
+        replica = replicas.get(self.node)
+
+        def power_off() -> None:
+            if replica is not None:
+                replica.crash()
+            # A powered-off node neither relays nor pays receive energy;
+            # isolating it keeps the radio/energy accounting honest.
+            network.isolate(self.node)
+
+        def power_on() -> None:
+            network.reconnect(self.node)
+            if replica is not None:
+                replica.restart()
+
+        sim.schedule_at(self.start, power_off, label=f"fault:crash-off@{self.node}")
+        sim.schedule_at(self.heal, power_on, label=f"fault:restart@{self.node}")
 
 
 @dataclass(frozen=True)
@@ -432,16 +540,31 @@ class FaultSchedule:
         """Every node touched by any fault, Byzantine or environmental."""
         return tuple(sorted({p for f in self.faults for p in f.nodes()}))
 
-    def liveness_exempt_nodes(self) -> Tuple[int, ...]:
+    def liveness_exempt_nodes(self, end_time: Optional[float] = None) -> Tuple[int, ...]:
         """Nodes excused from liveness expectations (sorted, unique).
 
         A node is exempt if *any* of its faults exempts it: Byzantine
-        behaviours and partition windows do, relay-drop windows do not —
-        a dropping relay still receives every flood and keeps committing.
+        behaviours do permanently, relay-drop windows never do — a
+        dropping relay still receives every flood and keeps committing.
+
+        Exemptions are *window-scoped*: with ``end_time`` (the run's
+        final virtual time) given, a recovering atom (partition or
+        crash-recover window) only exempts its node while
+        ``fault.exemption_end() > end_time`` — i.e. until
+        ``heal + CATCH_UP_GRACE``.  A run that outlives the grace period
+        holds the healed node to the full liveness target again, which is
+        what makes catch-up a *checked* invariant rather than a pardon.
+        Without ``end_time`` the pre-run view is returned (every exempting
+        atom counts), which is what feasibility checks want.
         """
-        return tuple(
-            sorted({p for f in self.faults if f.liveness_exempt for p in f.nodes()})
-        )
+        exempt = set()
+        for fault in self.faults:
+            if not fault.liveness_exempt:
+                continue
+            if end_time is not None and fault.exemption_end() <= end_time:
+                continue
+            exempt.update(fault.nodes())
+        return tuple(sorted(exempt))
 
     def dynamic_budget(self) -> int:
         """Nodes adaptive atoms may strike at run time (0 for static schedules)."""
@@ -572,6 +695,11 @@ def partition(node: int, start: float, heal: float) -> FaultSchedule:
     return FaultSchedule((PartitionWindow(node, start, heal),))
 
 
+def crash_recover(node: int, start: float, heal: float) -> FaultSchedule:
+    """Power a node off for a window, then reboot it (state intact)."""
+    return FaultSchedule((CrashRecoverWindow(node, start, heal),))
+
+
 def leader_following_crash(
     budget: int = 1, start: float = 0.0, interval: float = 1.0
 ) -> FaultSchedule:
@@ -590,6 +718,7 @@ FAULT_KINDS = {
         SilentFrom,
         RelayDropWindow,
         PartitionWindow,
+        CrashRecoverWindow,
         LeaderFollowingCrash,
     )
 }

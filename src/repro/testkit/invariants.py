@@ -53,16 +53,20 @@ class Evidence:
     def perturbed(self) -> set:
         """Nodes excluded from liveness expectations (Byzantine + degraded).
 
-        Degraded-window aware: the schedule distinguishes exempting
-        faults (Byzantine behaviours, partitions — the node may never
-        catch up) from non-exempting ones (relay-drop windows — the node
-        still receives and commits) via
+        Degraded-window aware *and window-scoped*: the schedule
+        distinguishes exempting faults (Byzantine behaviours — the node
+        may never catch up) from non-exempting ones (relay-drop windows —
+        the node still receives and commits), and for recovering faults
+        (partitions, crash-recover windows) the exemption *expires* at
+        ``heal + CATCH_UP_GRACE``.  A run that outlived the grace window
+        holds the healed node to the full target height — catch-up is a
+        checked obligation, not a permanent pardon.  See
         :meth:`~repro.testkit.faults.FaultSchedule.liveness_exempt_nodes`.
         """
         nodes = set(self.byzantine)
         schedule = self.spec.fault_schedule
         if schedule is not None:
-            nodes |= set(schedule.liveness_exempt_nodes())
+            nodes |= set(schedule.liveness_exempt_nodes(end_time=self.trace.sim_time))
         return nodes
 
     @property

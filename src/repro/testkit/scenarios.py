@@ -66,6 +66,10 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
     "silent-relay": lambda n: faults.silent(n - 1),
     "drop-window": lambda n: faults.drop_window(n - 1, start=1.0, end=8.0),
     "partition-heal": lambda n: faults.partition(n - 1, start=2.0, heal=10.0),
+    # A full power cycle with state intact: the node reboots passively (no
+    # protocol timers re-armed) and relies on catch-up state transfer for
+    # whatever it missed while dark.
+    "crash-recover": lambda n: faults.crash_recover(n - 1, start=1.0, heal=6.0),
     # ---- composed f>1 schedules -------------------------------------------
     # The crashed leader and the silent relay sit at 0 and n-2: non-adjacent
     # on the ring, so a k=2 ring survives both (two *adjacent* non-relaying
@@ -117,6 +121,16 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
     "adaptive-leader-crash-f2": lambda n: faults.leader_following_crash(
         budget=2, start=0.0, interval=1.0
     ),
+    # ---- differential (protocol-splitting) schedules -----------------------
+    # Promoted from the fuzz corpus (corpus/schedules/shs-partition-fork-*):
+    # a short leader partition right as the view-1 leader proposes.  Sync
+    # HotStuff forks — the isolated leader's chain conflicts with the view
+    # change the others ran — while EESMR's relay-everything dissemination
+    # absorbs the window cleanly.  The outcome is *expected to differ by
+    # protocol*, so the entry is excluded from ALL_FAULTS (an all-protocol
+    # sweep would spuriously fail) and exercised by a dedicated
+    # differential test instead.
+    "leader-partition-fork": lambda n: faults.partition(0, start=7.0, heal=7.25),
 }
 
 #: The default fault slice: every protocol supports these (Byzantine leader
@@ -137,8 +151,15 @@ COMPOSED_FAULTS = (
 #: The adaptive slice: mobile adversaries whose victims are chosen mid-run.
 ADAPTIVE_FAULTS = ("adaptive-leader-crash", "adaptive-leader-crash-f2")
 
+#: Schedules whose *expected outcome differs by protocol* (corpus
+#: promotions): they live in the library for reuse by name, but an
+#: all-protocol invariant sweep over them would spuriously fail, so the
+#: full sweep excludes them and dedicated differential tests assert the
+#: per-protocol expectations instead.
+DIFFERENTIAL_FAULTS = ("leader-partition-fork",)
+
 #: The extended slice adds the remaining library entries for a full sweep.
-ALL_FAULTS = tuple(FAULT_LIBRARY)
+ALL_FAULTS = tuple(name for name in FAULT_LIBRARY if name not in DIFFERENTIAL_FAULTS)
 
 #: Topology names usable as matrix axes (all thread through
 #: :class:`~repro.eval.runner.DeploymentSpec.topology`).

@@ -21,10 +21,18 @@ through the same broken build.
   violation.  This is exactly the class of bug the refcounted
   deny/allow-relay machinery exists to prevent (the PR 3
   composition-window regressions).
+* **Mutant C (dropped catch-up QC)** — sync responders stop attaching the
+  certificate that covers the suffix tip.  Certificate-requiring
+  protocols (Sync HotStuff, OptSync) then refuse every catch-up adoption,
+  the recovering node burns its whole retry budget and gives up — and
+  because the give-up path outlives ``heal + CATCH_UP_GRACE``, the node's
+  window-scoped liveness exemption lapses and the liveness invariant
+  fires.  This is the mutant the window-scoped exemption exists to catch:
+  under the old permanent-pardon semantics it would have been invisible.
 """
 
 from repro.core.eesmr.replica import EesmrReplica
-from repro.session.builder import MediumStage, SessionBuilder
+from repro.session.builder import MediumStage, ReplicaStage, SessionBuilder
 
 
 class ForkOnEquivocation(EesmrReplica):
@@ -61,4 +69,21 @@ class LeakyRelayMutantBuilder(SessionBuilder):
     def build_medium_stage(self) -> MediumStage:
         stage = super().build_medium_stage()
         stage.network.allow_relay = lambda pid: None
+        return stage
+
+
+class DroppedCatchUpQcMutantBuilder(SessionBuilder):
+    """Mutant C: sync responders drop the final catch-up certificate.
+
+    Per-instance ``sync_serve_certificates = False`` shadows the class
+    attribute, so every ``SYNC_RESPONSE`` ships its block suffix bare.
+    Protocols with ``sync_requires_certificate`` never adopt an
+    uncertified suffix, so their recovering nodes retry to exhaustion and
+    give up past the catch-up grace window.
+    """
+
+    def build_replica_stage(self) -> ReplicaStage:
+        stage = super().build_replica_stage()
+        for replica in stage.replicas.values():
+            replica.sync_serve_certificates = False
         return stage

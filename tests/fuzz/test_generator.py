@@ -117,3 +117,36 @@ def test_spec_provisions_f_for_the_adaptive_budget():
     schedule = FaultSchedule((LeaderFollowingCrash(budget=2, start=0.0, interval=1.0),))
     assert config.spec_for(schedule, "eesmr").f == 2
     assert config.spec_for(None, "eesmr").f == 1
+
+
+# ------------------------------------------------------------------ window grid
+WINDOWED_KINDS = ("RelayDropWindow", "PartitionWindow", "CrashRecoverWindow")
+
+
+@pytest.mark.parametrize("kind", WINDOWED_KINDS)
+def test_generated_windows_are_never_degenerate(kind):
+    """Regression for the zero-length-window rejection: every window the
+    generator emits — for each windowed atom kind separately — spans at
+    least one quantum, so construction-time validation never fires on a
+    generated schedule."""
+    generator = ScheduleGenerator(FuzzConfig(kinds=(kind,)), seed=4)
+    atoms = [atom for s in generator.schedules(25) for atom in s.describe()]
+    assert atoms, "the kinds-restricted generator must emit something"
+    for atom in atoms:
+        assert atom["kind"] == kind
+        start, end = atom["start"], atom.get("end", atom.get("heal"))
+        assert end - start >= TIME_QUANTUM - 1e-9, atom
+
+
+def test_default_kinds_include_crash_recover_windows():
+    """CrashRecoverWindow is part of the default fuzzing grammar (the
+    nightly core leg runs with no ``--kinds`` filter)."""
+    from repro.fuzz.generator import DEFAULT_KINDS
+
+    assert "CrashRecoverWindow" in DEFAULT_KINDS
+    kinds = {
+        atom["kind"]
+        for s in ScheduleGenerator(FuzzConfig(), seed=2).schedules(60)
+        for atom in s.describe()
+    }
+    assert "CrashRecoverWindow" in kinds

@@ -15,7 +15,12 @@ Seeds and budgets are fixed: the whole loop is deterministic, so these
 are exact regression tests, not statistical ones.
 """
 
-from mutants import CommitRuleMutantBuilder, LeakyRelayMutantBuilder
+import pytest
+from mutants import (
+    CommitRuleMutantBuilder,
+    DroppedCatchUpQcMutantBuilder,
+    LeakyRelayMutantBuilder,
+)
 
 from repro.fuzz import FuzzConfig, Fuzzer
 
@@ -26,13 +31,23 @@ SEED_BUDGET = 10
 #: eesmr-only keeps each iteration to a single protocol run — the mutants
 #: are both planted in the EESMR build path.
 COMMIT_RULE_CONFIG = FuzzConfig(protocols=("eesmr",))
-COMMIT_RULE_SEED = 2
+#: Re-pinned when CrashRecoverWindow joined the generator's default kinds
+#: (the draw stream shifted); seed 5 draws an equivocation within budget.
+COMMIT_RULE_SEED = 5
 
 #: The relay-leak only compounds across drop windows, so the hunt draws
 #: from that one atom kind (the generator's ``kinds`` knob exists for
 #: exactly this sort of targeted campaign).
 LEAKY_RELAY_CONFIG = FuzzConfig(protocols=("eesmr",), kinds=("RelayDropWindow",))
 LEAKY_RELAY_SEED = 1
+
+#: The dropped-QC mutant only bites certificate-requiring protocols, and
+#: the hunt draws crash-recover windows (partitions are excluded because a
+#: leader partition forks stock Sync HotStuff — see the promoted
+#: ``leader-partition-fork`` differential cell — which would dirty the
+#: honest control).
+DROPPED_QC_CONFIG = FuzzConfig(protocols=("sync-hotstuff",), kinds=("CrashRecoverWindow",))
+DROPPED_QC_SEED = 0
 
 
 def test_commit_rule_mutant_is_found_and_shrunk():
@@ -62,12 +77,30 @@ def test_leaky_relay_mutant_is_found_and_shrunk():
     assert ("eesmr", "liveness") in shrunk.failure_key
 
 
+@pytest.mark.recovery
+def test_dropped_catch_up_qc_mutant_is_found_and_shrunk():
+    """A responder that drops the final catch-up QC strands every
+    recovering Sync HotStuff node past its grace window — the
+    window-scoped liveness invariant must catch it within the budget."""
+    fuzzer = Fuzzer(
+        DROPPED_QC_CONFIG, seed=DROPPED_QC_SEED, builder_factory=DroppedCatchUpQcMutantBuilder
+    )
+    report = fuzzer.run(SEED_BUDGET)
+    assert report.findings, "the dropped catch-up QC must be found within the seed budget"
+    shrunk = report.findings[0].shrunk
+    atoms = shrunk.schedule.describe()
+    assert len(atoms) <= 3
+    assert {atom["kind"] for atom in atoms} == {"CrashRecoverWindow"}
+    assert ("sync-hotstuff", "liveness") in shrunk.failure_key
+
+
 def test_honest_controls_are_clean():
     """The stock builder under the exact same configs and seeds finds
     nothing — the meta-tests above fire because of the mutations."""
     for config, seed in (
         (COMMIT_RULE_CONFIG, COMMIT_RULE_SEED),
         (LEAKY_RELAY_CONFIG, LEAKY_RELAY_SEED),
+        (DROPPED_QC_CONFIG, DROPPED_QC_SEED),
     ):
         report = Fuzzer(config, seed=seed).run(SEED_BUDGET)
         assert not report.failed, [f.detection.describe() for f in report.findings]

@@ -13,6 +13,7 @@ from repro.fuzz import Detection, ProtocolVerdict, Shrinker
 from repro.fuzz.generator import TIME_QUANTUM
 from repro.testkit.faults import (
     CrashAt,
+    CrashRecoverWindow,
     EquivocateAt,
     FaultSchedule,
     LeaderFollowingCrash,
@@ -141,3 +142,14 @@ def test_rejects_candidates_whose_failure_is_a_different_bug():
     # The window (the original bug's trigger) survives; the crash is gone.
     assert [type(a).__name__ for a in result.schedule.faults] == ["RelayDropWindow"]
     assert result.failure_key == frozenset({("eesmr", "liveness")})
+
+
+def test_narrow_pass_handles_crash_recover_windows():
+    """The narrowing pass treats a crash-recover window like any other
+    impairment window: halves it down to the quantum, on the grid."""
+    schedule = FaultSchedule((CrashRecoverWindow(2, 0.0, 8.0),))
+    result = Shrinker(StubDetector(has_kind("CrashRecoverWindow"))).shrink(schedule)
+    (atom,) = result.schedule.faults
+    start, heal = atom.impairment()
+    assert heal - start == pytest.approx(TIME_QUANTUM)
+    assert (start / TIME_QUANTUM) == int(start / TIME_QUANTUM)

@@ -107,11 +107,30 @@ def test_isolation_is_refcounted():
 
 def test_reconnect_without_isolation_is_a_noop():
     sim, _, _, network, sinks = build(n=5, k=2)
-    network.reconnect(3)
+    with pytest.warns(RuntimeWarning, match="reconnect.*without a matching isolate"):
+        network.reconnect(3)
     network.isolate(3)
     network.broadcast(0, "m")
     sim.run_until_idle()
     assert sinks[3].messages == [], "a stray reconnect must not pre-cancel an isolation"
+    assert network.unbalanced_reconnects == 1
+    assert network.recovery_metrics() == {"unbalanced_reconnects": 1}
+
+
+def test_unbalanced_reconnects_counted_but_warned_once():
+    import warnings
+
+    sim, _, _, network, _ = build(n=5, k=2)
+    with pytest.warns(RuntimeWarning):
+        network.reconnect(1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise here
+        network.reconnect(2)
+    assert network.unbalanced_reconnects == 2
+    # Balanced pairs never touch the counter.
+    network.isolate(4)
+    network.reconnect(4)
+    assert network.unbalanced_reconnects == 2
 
 
 def test_relay_denial_is_refcounted_and_restores_base_policy():

@@ -24,16 +24,24 @@ fault_atoms = st.one_of(
     st.builds(faults.StallAt, node=st.integers(0, 9), round=st.integers(1, 8)),
     st.builds(faults.EquivocateAt, node=st.integers(0, 9), round=st.integers(1, 8)),
     st.builds(faults.SilentFrom, node=st.integers(0, 9)),
+    # start tops out strictly below the end/heal floor: degenerate
+    # (zero-length) windows are rejected at construction.
     st.builds(
         faults.RelayDropWindow,
         node=st.integers(0, 9),
-        start=st.floats(0, 5),
+        start=st.floats(0, 4.5),
         end=st.floats(5, 10),
     ),
     st.builds(
         faults.PartitionWindow,
         node=st.integers(0, 9),
-        start=st.floats(0, 5),
+        start=st.floats(0, 4.5),
+        heal=st.floats(5, 10),
+    ),
+    st.builds(
+        faults.CrashRecoverWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 4.5),
         heal=st.floats(5, 10),
     ),
     st.builds(

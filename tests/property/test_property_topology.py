@@ -128,13 +128,15 @@ def test_random_kcast_provisioning_connectivity_determinism(params):
 # ------------------------------------------------- fault-composition windows
 @st.composite
 def window_sets(draw):
-    """Up to four windows on one node, arbitrarily overlapping, zero-length
-    and simultaneous-boundary cases included."""
+    """Up to four windows on one node, arbitrarily overlapping,
+    simultaneous-boundary cases included.  Lengths start at 1: zero-length
+    windows are rejected at construction (see
+    ``test_zero_length_windows_are_rejected_at_construction``)."""
     count = draw(st.integers(min_value=1, max_value=4))
     windows = []
     for _ in range(count):
         start = draw(st.integers(min_value=0, max_value=8))
-        length = draw(st.integers(min_value=0, max_value=8))
+        length = draw(st.integers(min_value=1, max_value=8))
         windows.append((float(start), float(start + length)))
     return windows
 

@@ -1,0 +1,64 @@
+"""Unit tests for the retry/backoff policy."""
+
+import pytest
+
+from repro.recovery import RecoveryPolicy
+from repro.sim.rng import SeededRNG
+
+pytestmark = pytest.mark.recovery
+
+
+def test_defaults_are_coupled_to_the_grace_window():
+    """A working sync (one or two round trips) finishes inside the 8 s
+    grace; a broken one (full retry ladder) always overruns it — the
+    property the planted-mutant detection depends on."""
+    from repro.testkit.faults import CATCH_UP_GRACE
+
+    policy = RecoveryPolicy()
+    rng = SeededRNG(7)
+    two_round_trips = 2 * policy.request_timeout + policy.backoff(0, rng)
+    assert two_round_trips < CATCH_UP_GRACE
+    rng = SeededRNG(7)
+    give_up_floor = (policy.max_retries + 1) * policy.request_timeout + sum(
+        policy.backoff_base * policy.backoff_factor**i for i in range(policy.max_retries)
+    )
+    assert give_up_floor > CATCH_UP_GRACE
+
+
+def test_backoff_grows_exponentially_with_bounded_jitter():
+    policy = RecoveryPolicy(jitter=0.25)
+    rng = SeededRNG(3)
+    delays = [policy.backoff(i, rng) for i in range(4)]
+    for i, delay in enumerate(delays):
+        base = policy.backoff_base * policy.backoff_factor**i
+        assert base <= delay < base * 1.25
+    assert delays == sorted(delays)
+
+
+def test_backoff_is_deterministic_per_seed():
+    policy = RecoveryPolicy()
+    a = [policy.backoff(i, SeededRNG(9).child("x")) for i in range(3)]
+    b = [policy.backoff(i, SeededRNG(9).child("x")) for i in range(3)]
+    assert a == b
+
+
+def test_zero_jitter_is_exact():
+    policy = RecoveryPolicy(jitter=0.0)
+    assert policy.backoff(2, SeededRNG(1)) == policy.backoff_base * policy.backoff_factor**2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"request_timeout": 0.0},
+        {"request_timeout": -1.0},
+        {"max_retries": -1},
+        {"backoff_base": -0.5},
+        {"backoff_factor": 0.5},
+        {"jitter": -0.1},
+        {"jitter": 1.0},
+    ],
+)
+def test_invalid_parameters_are_rejected(kwargs):
+    with pytest.raises(ValueError):
+        RecoveryPolicy(**kwargs)

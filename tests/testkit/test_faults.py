@@ -5,6 +5,7 @@ import pytest
 from repro.core.adversary import FaultPlan
 from repro.testkit.faults import (
     CrashAt,
+    CrashRecoverWindow,
     EquivocateAt,
     FaultSchedule,
     PartitionWindow,
@@ -12,6 +13,7 @@ from repro.testkit.faults import (
     SilentFrom,
     StallAt,
     crash_at,
+    crash_recover,
     drop_window,
     equivocate_at,
     no_faults,
@@ -176,12 +178,21 @@ def test_interleaved_drop_windows_do_not_lift_denial_early():
     assert 2 not in network.relay_policies
 
 
-def test_zero_length_drop_window_is_a_noop():
-    sim, topology, ledger, network = make_network()
-    drop_window(2, start=3.0, end=3.0).install(sim, network, {})
-    sim.run(until=4.0)
-    assert 2 not in network.relay_policies
-    assert 2 not in network._relay_denial_depth
+def test_zero_length_windows_are_rejected_at_construction():
+    """Degenerate windows (end == start, or end < start) used to install as
+    silent no-ops; every windowed atom now rejects them up front."""
+    with pytest.raises(ValueError, match="degenerate drop window"):
+        drop_window(2, start=3.0, end=3.0)
+    with pytest.raises(ValueError, match="degenerate drop window"):
+        RelayDropWindow(2, 5.0, 4.0)
+    with pytest.raises(ValueError, match="degenerate partition window"):
+        PartitionWindow(2, 3.0, 3.0)
+    with pytest.raises(ValueError, match="degenerate partition window"):
+        PartitionWindow(2, 6.0, 2.0)
+    with pytest.raises(ValueError, match="degenerate crash-recover window"):
+        CrashRecoverWindow(2, 3.0, 3.0)
+    with pytest.raises(ValueError, match="degenerate crash-recover window"):
+        CrashRecoverWindow(2, 6.0, 2.0)
 
 
 def test_simultaneous_window_off_and_on_events():
@@ -231,10 +242,84 @@ def test_concurrent_impairment_sets():
         crash_at(0, time=2.0)  # Byzantine: impaired for the whole run
         .add(RelayDropWindow(2, 1.0, 5.0))
         .add(PartitionWindow(3, 4.0, 8.0))
-        .add(RelayDropWindow(4, 9.0, 9.0))  # zero-length: impairs nobody
+        .add(RelayDropWindow(4, 9.0, 9.5))  # disjoint tail window
     )
     sets = schedule.concurrent_impairment_sets()
     assert frozenset({0, 2}) in sets  # during [1, 4)
     assert frozenset({0, 2, 3}) in sets  # during [4, 5)
-    assert all(4 not in s for s in sets)
+    assert frozenset({0, 4}) in sets  # during [9, 9.5)
     assert no_faults().concurrent_impairment_sets() == []
+
+
+# ------------------------------------------------ recovery-bearing atoms
+def test_crash_recover_window_is_correct_not_byzantine():
+    schedule = crash_recover(2, start=1.0, heal=4.0)
+    assert schedule.byzantine_nodes() == ()
+    assert schedule.perturbed_nodes() == (2,)
+    assert schedule.max_byzantine() == 0
+    assert schedule.replica_behaviour(2) is None
+    assert schedule.failstop_time(2) is None
+
+
+def test_crash_recover_window_powers_the_node_off_and_on():
+    sim, topology, ledger, network = make_network()
+    crash_recover(3, start=2.0, heal=6.0).install(sim, network, {})
+    sim.run(until=3.0)
+    assert 3 in network._partition
+    sim.run(until=6.5)
+    assert 3 not in network._partition
+
+
+def test_recovery_bearing_atoms_yield_controllers():
+    from repro.recovery.controller import RecoveryController
+    from repro.testkit.faults import CrashRecoverWindow as CRW
+
+    for atom in (PartitionWindow(1, 0.0, 3.0), CRW(1, 0.0, 3.0)):
+        controller = atom.controller()
+        assert isinstance(controller, RecoveryController)
+        assert controller.fault is atom
+    schedule = partition(0, 1.0, 2.0).add(CRW(1, 0.0, 3.0))
+    assert len(schedule.controllers()) == 2
+
+
+def test_liveness_exemption_is_window_scoped():
+    """Partition/crash-recover exemptions lapse at heal + CATCH_UP_GRACE;
+    Byzantine exemptions never do; drop windows never exempt at all."""
+    from repro.testkit.faults import CATCH_UP_GRACE
+
+    schedule = (
+        crash_at(0, 1.0)
+        .add(PartitionWindow(2, 0.0, 3.0))
+        .add(CrashRecoverWindow(1, 0.0, 4.0))
+        .add(RelayDropWindow(3, 1.0, 2.0))
+    )
+    # Legacy no-argument call: every recovering node stays exempt
+    # (feasibility checks and short runs rely on this).
+    assert schedule.liveness_exempt_nodes() == (0, 1, 2)
+    # Before any grace window lapses, everything is still exempt.
+    assert schedule.liveness_exempt_nodes(end_time=2.0) == (0, 1, 2)
+    # Node 2's grace ends at 3 + CATCH_UP_GRACE, node 1's at 4 + grace.
+    assert schedule.liveness_exempt_nodes(end_time=3.0 + CATCH_UP_GRACE) == (0, 1)
+    assert schedule.liveness_exempt_nodes(end_time=4.0 + CATCH_UP_GRACE) == (0,)
+    # The Byzantine crash is exempt forever.
+    assert schedule.liveness_exempt_nodes(end_time=1e9) == (0,)
+
+
+def test_crash_recover_narrowing_stays_inside_the_window():
+    atom = CrashRecoverWindow(2, 1.0, 9.0)
+    narrowed = atom.narrowed(2.0, 5.0)
+    assert (narrowed.start, narrowed.heal) == (2.0, 5.0)
+    assert narrowed.node == 2
+    with pytest.raises(ValueError):
+        atom.narrowed(0.5, 5.0)
+    with pytest.raises(ValueError):
+        atom.narrowed(2.0, 9.5)
+
+
+def test_crash_recover_rejects_malformed_fields():
+    with pytest.raises(ValueError, match="must be a number"):
+        CrashRecoverWindow(1, True, 5.0)
+    with pytest.raises(ValueError, match="must be a number"):
+        CrashRecoverWindow(1, 0.0, "soon")
+    with pytest.raises(ValueError, match="cannot be negative"):
+        CrashRecoverWindow(1, -1.0, 5.0)

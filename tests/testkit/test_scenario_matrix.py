@@ -310,3 +310,73 @@ def test_matrix_large_n_random_kcast():
     ).run()
     assert report.cells_run == 2
     report.assert_clean()
+
+
+# ------------------------------------------------- recovery-bearing cells
+@pytest.mark.recovery
+def test_promoted_corpus_pair_splits_the_protocols():
+    """The first corpus → matrix promotion: the PR 6 differential finding
+    (corpus entries ``shs-leader-partition`` / ``eesmr-leader-partition``)
+    as the permanent named cell ``leader-partition-fork``.  A 0.25 s leader
+    partition right at the commit boundary forks Sync HotStuff (its
+    commit-by-timeout rests on synchrony) while EESMR's relay-everything
+    dissemination absorbs it — so the pair is asserted *differentially*
+    here and excluded from the all-protocol sweep."""
+    matrix = ScenarioMatrix(
+        protocols=("eesmr", "sync-hotstuff"),
+        fault_names=("leader-partition-fork",),
+        media=("ble",),
+        block_interval=2.0,
+        seed=29,
+    )
+    report = matrix.run()
+    assert not report.skipped
+    by_protocol = {o.cell.protocol: o for o in report.outcomes}
+    assert by_protocol["eesmr"].ok, [r.detail for r in by_protocol["eesmr"].violations()]
+    shs = by_protocol["sync-hotstuff"]
+    assert not shs.ok, "the promoted schedule must still fork Sync HotStuff"
+    assert "agreement" in {r.name for r in shs.violations()}
+
+
+def test_differential_faults_are_excluded_from_the_full_sweep():
+    from repro.testkit.scenarios import DIFFERENTIAL_FAULTS
+
+    assert set(DIFFERENTIAL_FAULTS) <= set(FAULT_LIBRARY)
+    assert not set(DIFFERENTIAL_FAULTS) & set(ALL_FAULTS)
+    assert "leader-partition-fork" in DIFFERENTIAL_FAULTS
+
+
+@pytest.mark.recovery
+@pytest.mark.parametrize("fault", ("partition-heal", "crash-recover"))
+@pytest.mark.parametrize("protocol", ("eesmr", "sync-hotstuff"))
+def test_healed_cells_assert_post_heal_liveness(protocol, fault):
+    """Recovery-bearing cells don't just pass the battery: the healed node
+    demonstrably commits the *full* target after the heal — catch-up is a
+    checked obligation, not an exemption."""
+    matrix = ScenarioMatrix(block_interval=2.0)
+    outcome = matrix.run_cell(ScenarioCell(protocol, fault, "ble"))
+    assert outcome.ok, [r.detail for r in outcome.violations()]
+    healed_node = matrix.n - 1
+    assert outcome.evidence.trace.committed_heights[healed_node] >= matrix.target_height
+
+
+@pytest.mark.matrix
+def test_recovery_cells_across_all_protocols_and_media():
+    """The full recovery slice: every protocol × every medium × every
+    recovery-bearing schedule, battery-clean, with the healed node at
+    full height in every cell."""
+    recovery_faults = (
+        "partition-heal",
+        "crash-recover",
+        "rolling-partitions",
+        "overlapping-partitions",
+    )
+    matrix = ScenarioMatrix(fault_names=recovery_faults, block_interval=2.0)
+    report = matrix.run()
+    assert not report.skipped
+    report.assert_clean()
+    for outcome in report.outcomes:
+        heights = outcome.evidence.trace.committed_heights
+        # >= : rolling schedules can legitimately overshoot the target
+        # while the last window heals.
+        assert heights[matrix.n - 1] >= matrix.target_height, outcome.cell.label()
