@@ -17,6 +17,9 @@
 #   make test-corpus  replay the committed fuzz reproducers in
 #                     tests/corpus (also part of test-fast; named target
 #                     for the PR-blocking CI step)
+#   make test-workload the workload-engine lane: open-loop determinism,
+#                     txpool backpressure, SLO metrics, Prometheus
+#                     fallback (also part of test-fast; named CI lane)
 #   make fuzz         a short local fuzz campaign (SEED=n ITERATIONS=n to
 #                     override; see docs/fuzzing.md)
 #   make lint         ruff over src/tests/examples (critical rules only:
@@ -29,7 +32,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all test-corpus test-recovery fuzz bench bench-smoke bench-gate lint
+.PHONY: test-fast test-matrix test-all test-corpus test-recovery test-workload fuzz bench bench-smoke bench-gate lint
 
 test-fast:
 	$(PYTEST) -x -q
@@ -39,6 +42,9 @@ test-corpus:
 
 test-recovery:
 	$(PYTEST) -q -m recovery
+
+test-workload:
+	$(PYTEST) -q tests/workload
 
 SEED ?= 0
 ITERATIONS ?= 20

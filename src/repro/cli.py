@@ -67,6 +67,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the DeploymentSpec serialised in this JSON file "
         "(DeploymentSpec.to_dict schema); other run flags are ignored",
     )
+    run.add_argument(
+        "--workload",
+        default=None,
+        metavar="KIND",
+        help="traffic shape: 'closed-loop' (default), "
+        "'open-loop:<rate>[:<clients>[:<duration>]]' (seeded Poisson "
+        "arrivals in virtual time) or 'trace:<file>' (timestamped JSON "
+        "command stream); non-default workloads also print SLO metrics",
+    )
+    run.add_argument(
+        "--txpool-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound every replica's txpool to N pending commands "
+        "(default: unbounded); overflow drops are counted and reported",
+    )
+    run.add_argument(
+        "--block-interval",
+        type=float,
+        default=0.0,
+        help="virtual time between successive proposals (default 0.0)",
+    )
 
     matrix = sub.add_parser(
         "matrix", help="run a scenario-matrix sweep with the invariant battery"
@@ -88,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--kcast", "-k", type=int, default=2)
     matrix.add_argument("--blocks", type=int, default=3)
     matrix.add_argument("--seed", type=int, default=29)
+    matrix.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        help="workload-axis names from repro.testkit.scenarios.WORKLOAD_LIBRARY "
+        "('preload', 'open-loop') or parameterised 'open-loop:<rate>' / "
+        "'trace:<file>' forms (default: preload only)",
+    )
+    matrix.add_argument(
+        "--block-interval",
+        type=float,
+        default=0.0,
+        help="virtual time between successive proposals (default 0.0; "
+        "open-loop cells need a positive interval to be meaningful)",
+    )
     matrix.add_argument(
         "--parallel", type=int, default=None, help="worker processes (default: serial)"
     )
@@ -143,6 +181,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.spec) as handle:
             spec = DeploymentSpec.from_dict(json.load(handle))
     else:
+        from repro.workload import parse_workload
+
         fault_plan = FaultPlan()
         if args.leader_fault != "none":
             fault_plan = FaultPlan(faulty=(0,), behaviour=args.leader_fault)
@@ -152,12 +192,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f=args.faults,
             k=args.kcast,
             target_height=args.blocks,
+            block_interval=args.block_interval,
             command_payload_bytes=args.payload_bytes,
             signature_scheme=args.scheme,
             seed=args.seed,
             fault_plan=fault_plan,
+            workload=parse_workload(args.workload) if args.workload else None,
+            txpool_limit=args.txpool_limit,
         )
-    result = run_protocol(spec)
+    engine = spec.workload
+    if engine is not None and not engine.is_default():
+        # Non-default traffic: drive the session with SLO metrics attached.
+        from repro.eval.runner import ProtocolRunner
+        from repro.session.metrics import MetricsObserver
+
+        metrics = MetricsObserver()
+        result = (
+            ProtocolRunner()
+            .session(spec, observers=(metrics,))
+            .run_to_quiescence()
+            .finish()
+        )
+    else:
+        metrics = None
+        result = run_protocol(spec)
     print(f"protocol            : {spec.protocol}")
     print(f"n / f / k           : {spec.n} / {spec.f} / {spec.k}")
     print(f"committed blocks    : {result.committed_blocks}")
@@ -166,22 +224,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"energy per block    : {result.energy_per_block_mj:.1f} mJ (correct nodes)")
     print(f"leader per block    : {result.leader_energy_per_block_mj:.1f} mJ")
     print(f"sign / verify ops   : {result.sign_operations} / {result.verify_operations}")
+    if result.commands_dropped or result.commands_duplicate:
+        print(
+            f"txpool admission    : {result.commands_dropped} dropped / "
+            f"{result.commands_duplicate} duplicate "
+            f"(high watermark {result.txpool_high_watermark})"
+        )
+    if metrics is not None:
+        summary = metrics.summary()
+        overall = summary["overall"]
+        p50, p99 = overall["latency_p50"], overall["latency_p99"]
+        print(f"workload            : {engine.describe()['kind']}")
+        print(
+            f"offered / committed : {summary['offered']} / "
+            f"{summary['committed_commands']} (dropped {summary['dropped']})"
+        )
+        print(
+            f"commit latency      : p50 "
+            f"{'n/a' if p50 is None else f'{p50:.3f}'} / p99 "
+            f"{'n/a' if p99 is None else f'{p99:.3f}'} (virtual time)"
+        )
+        print(f"goodput             : {overall['goodput']:.3f} commands/time")
     return 0 if result.safety.consistent else 1
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     # Lazy import: the testkit (and its sweep machinery) is only needed here.
-    from repro.testkit.scenarios import DEFAULT_FAULTS, ScenarioMatrix
+    from repro.testkit.scenarios import DEFAULT_FAULTS, DEFAULT_WORKLOADS, ScenarioMatrix
 
     matrix = ScenarioMatrix(
         protocols=tuple(args.protocols),
         fault_names=tuple(args.faults) if args.faults else DEFAULT_FAULTS,
         media=tuple(args.media),
         topologies=tuple(args.topologies),
+        workloads=tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS,
         n=args.nodes,
         f=args.faulty,
         k=args.kcast,
         target_height=args.blocks,
+        block_interval=args.block_interval,
         seed=args.seed,
     )
     if args.dump_specs:

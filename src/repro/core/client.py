@@ -47,8 +47,15 @@ class CommandFactory:
         self.rng = rng or SeededRNG(client_id)
         self._counter = itertools.count()
 
-    def next_command(self) -> Command:
-        """Produce the next command with a unique id."""
+    def next_command(self, arrival_time: Optional[float] = None) -> Command:
+        """Produce the next command with a unique id.
+
+        ``arrival_time`` stamps the command with the virtual time it
+        entered the system (open-loop engines); ``None`` — the default and
+        the closed-loop behaviour — leaves the command unstamped.  The
+        stamp is excluded from the command's canonical representation, so
+        stamped and unstamped streams serialise identically.
+        """
         index = next(self._counter)
         digest = self.rng.bytes(8).hex()
         return Command(
@@ -56,13 +63,14 @@ class CommandFactory:
             client_id=self.client_id,
             payload_size_bytes=self.payload_size_bytes,
             payload_digest=digest,
+            arrival_time=arrival_time,
         )
 
-    def batch(self, count: int) -> List[Command]:
-        """Produce ``count`` commands."""
+    def batch(self, count: int, arrival_time: Optional[float] = None) -> List[Command]:
+        """Produce ``count`` commands (all stamped with ``arrival_time``)."""
         if count < 0:
             raise ValueError("count cannot be negative")
-        return [self.next_command() for _ in range(count)]
+        return [self.next_command(arrival_time) for _ in range(count)]
 
 
 class Client:

@@ -52,6 +52,10 @@ class ProtocolConfig:
             proposals.  EESMR's block period is 0 in theory; a non-zero
             interval is used when an experiment needs earlier blocks to
             commit before a fault is injected.
+        txpool_limit: Bound on each replica's pending-command pool.
+            ``None`` (the default, and the seed behaviour) is unbounded;
+            a bounded pool drops overflow arrivals with an explicit
+            admission verdict (see :mod:`repro.core.txpool`).
         leader_schedule: Maps view numbers to leader node ids.
         charge_crypto_energy: Charge sign/verify/hash energy to meters.
         charge_sleep_energy: Charge the idle baseline over elapsed time.
@@ -65,6 +69,7 @@ class ProtocolConfig:
     command_payload_bytes: int = 16
     target_height: int = 5
     block_interval: float = 0.0
+    txpool_limit: Optional[int] = None
     leader_schedule: Optional[Callable[[View], NodeId]] = None
     charge_crypto_energy: bool = True
     charge_sleep_energy: bool = False
@@ -82,6 +87,8 @@ class ProtocolConfig:
             raise ValueError("delta must be positive")
         if self.target_height < 1:
             raise ValueError("target_height must be at least 1")
+        if self.txpool_limit is not None and self.txpool_limit < 1:
+            raise ValueError("txpool_limit must be at least 1 (or None for unbounded)")
         if self.leader_schedule is None:
             self.leader_schedule = round_robin_leader(self.n)
 

@@ -25,7 +25,7 @@ from repro.core.messages import (
     verify_qc,
     verify_view_qc,
 )
-from repro.core.txpool import TxPool
+from repro.core.txpool import ADMITTED, TxPool
 from repro.core.types import Command, NodeId, Round, View
 from repro.crypto.hashing import HashFunction
 from repro.crypto.signatures import SignatureScheme
@@ -72,7 +72,7 @@ class BaseReplica(Process):
 
         self.blocks = BlockStore()
         self.log = CommittedLog(pid, self.blocks)
-        self.txpool = TxPool()
+        self.txpool = TxPool(max_size=config.txpool_limit)
         self.stats = RunStats()
 
         self.v_cur: View = 1
@@ -315,8 +315,17 @@ class BaseReplica(Process):
 
     # ---------------------------------------------------------------- client
     def submit_commands(self, commands: Iterable[Command]) -> int:
-        """Inject client commands into the local pool (no radio energy)."""
-        return self.txpool.add_all(commands)
+        """Inject client commands through pool admission (no radio energy).
+
+        Returns how many commands were admitted; duplicates and overflow
+        drops are counted on the pool (see
+        :meth:`repro.core.txpool.TxPool.admission_stats`).
+        """
+        admitted = 0
+        for command in commands:
+            if self.txpool.admit(command) == ADMITTED:
+                admitted += 1
+        return admitted
 
     # ---------------------------------------------------------------- hooks
     def on_message(self, sender: int, message: Any) -> None:  # pragma: no cover - abstract

@@ -3,23 +3,52 @@
 Every node keeps the commands it has heard from clients in a local pool;
 the leader drains the pool to build proposals and every node removes a
 command once a block containing it commits.
+
+Admission is explicit: :meth:`TxPool.admit` returns a verdict —
+:data:`ADMITTED`, :data:`DUPLICATE` or :data:`OVERFLOW` — and the pool
+keeps per-verdict counters, so backpressure under open-loop load is
+observable instead of silently folded into a boolean.  The first overflow
+drop of a pool emits a single :class:`TxPoolOverflowWarning`; subsequent
+drops are counted silently.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Iterable, List, Optional
 
 from repro.core.types import Command
+
+#: Admission verdicts returned by :meth:`TxPool.admit`.
+ADMITTED = "admitted"
+DUPLICATE = "duplicate"
+OVERFLOW = "overflow"
+
+ADMISSION_VERDICTS = (ADMITTED, DUPLICATE, OVERFLOW)
+
+
+class TxPoolOverflowWarning(UserWarning):
+    """Raised (once per pool) when a bounded pool drops its first command."""
 
 
 class TxPool:
     """An ordered pool of pending client commands."""
 
     def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be at least 1 (or None for unbounded)")
         self._pending: "OrderedDict[str, Command]" = OrderedDict()
         self.max_size = max_size
+        #: Commands rejected because the pool was full (overflow verdicts).
         self.dropped = 0
+        #: Commands rejected because they were already pending.
+        self.duplicates = 0
+        #: Commands accepted into the pool.
+        self.admitted = 0
+        #: The largest number of simultaneously pending commands observed.
+        self.high_watermark = 0
+        self._overflow_warned = False
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -27,15 +56,38 @@ class TxPool:
     def __contains__(self, command_id: str) -> bool:
         return command_id in self._pending
 
-    def add(self, command: Command) -> bool:
-        """Add a command; returns ``False`` when it was a duplicate or dropped."""
+    def admit(self, command: Command) -> str:
+        """Admit a command, returning the admission verdict.
+
+        ``ADMITTED`` — the command is now pending; ``DUPLICATE`` — it was
+        already pending (not counted as a drop); ``OVERFLOW`` — the pool
+        is at ``max_size`` and the command was dropped (counted, and
+        warned about once per pool).
+        """
         if command.command_id in self._pending:
-            return False
+            self.duplicates += 1
+            return DUPLICATE
         if self.max_size is not None and len(self._pending) >= self.max_size:
             self.dropped += 1
-            return False
+            if not self._overflow_warned:
+                self._overflow_warned = True
+                warnings.warn(
+                    f"txpool overflow: dropped command {command.command_id!r} "
+                    f"(pool at max_size={self.max_size}); further drops are "
+                    f"counted in TxPool.dropped without warning",
+                    TxPoolOverflowWarning,
+                    stacklevel=2,
+                )
+            return OVERFLOW
         self._pending[command.command_id] = command
-        return True
+        self.admitted += 1
+        if len(self._pending) > self.high_watermark:
+            self.high_watermark = len(self._pending)
+        return ADMITTED
+
+    def add(self, command: Command) -> bool:
+        """Add a command; returns ``False`` when it was a duplicate or dropped."""
+        return self.admit(command) == ADMITTED
 
     def add_all(self, commands: Iterable[Command]) -> int:
         """Add many commands; returns how many were actually added."""
@@ -69,6 +121,17 @@ class TxPool:
     def pending_ids(self) -> List[str]:
         """Ids of all pending commands (arrival order)."""
         return list(self._pending)
+
+    def admission_stats(self) -> dict:
+        """Per-verdict counters plus occupancy (JSON-safe, stable keys)."""
+        return {
+            "admitted": self.admitted,
+            "duplicates": self.duplicates,
+            "dropped": self.dropped,
+            "pending": len(self._pending),
+            "high_watermark": self.high_watermark,
+            "max_size": self.max_size,
+        }
 
     def clear(self) -> None:
         """Drop every pending command."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Node identifier (index into the system N = {p_1, ..., p_n}).
 NodeId = int
@@ -34,12 +34,19 @@ class Command:
             explicitly delegates request validity to the application layer —
             so only the size matters for energy accounting.
         payload_digest: Short digest standing in for the request body.
+        arrival_time: Virtual time the command arrived at the system, or
+            ``None`` for pre-loaded (closed-loop) workloads.  Excluded from
+            ``repr`` and equality on purpose: the canonical serialisation
+            (``json.dumps(..., default=repr)``) and therefore every wire
+            size, block hash and golden trace fingerprint must not change
+            when a workload engine annotates arrivals.
     """
 
     command_id: str
     client_id: int = 0
     payload_size_bytes: int = 16
     payload_digest: str = ""
+    arrival_time: Optional[float] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_size_bytes < 0:

@@ -64,6 +64,15 @@ class DeploymentSpec:
     #: :meth:`FaultSchedule.replica_behaviour` and network-level faults are
     #: armed via :meth:`FaultSchedule.install`.
     fault_schedule: Optional[Any] = None
+    #: Optional workload engine (``repro.workload.WorkloadEngine``), duck-typed
+    #: here so ``eval`` stays importable without the workload layer.  ``None``
+    #: (the default) is the seed behaviour: the closed-loop preload that fills
+    #: every txpool before the run starts.  Engines serialise through
+    #: :meth:`WorkloadEngine.describe` / ``repro.workload.workload_from_dict``.
+    workload: Optional[Any] = None
+    #: Bound on each replica's pending-command pool (``None`` = unbounded,
+    #: the seed behaviour).  Threaded into ``ProtocolConfig.txpool_limit``.
+    txpool_limit: Optional[int] = None
     seed: int = 0
     charge_sleep: bool = False
     jitter: bool = True
@@ -80,6 +89,10 @@ class DeploymentSpec:
         if self.topology == "random-kcast" and self.edges_per_node < 1:
             raise ValueError(
                 f"random-kcast needs edges_per_node >= 1, got {self.edges_per_node}"
+            )
+        if self.txpool_limit is not None and self.txpool_limit < 1:
+            raise ValueError(
+                f"txpool_limit must be >= 1 or None, got {self.txpool_limit}"
             )
 
     @property
@@ -126,6 +139,8 @@ class DeploymentSpec:
             "fault_schedule": (
                 self.fault_schedule.describe() if self.fault_schedule is not None else None
             ),
+            "workload": self.workload.describe() if self.workload is not None else None,
+            "txpool_limit": self.txpool_limit,
         }
         return out
 
@@ -135,6 +150,7 @@ class DeploymentSpec:
         data = dict(data)
         plan_data = data.pop("fault_plan", None)
         schedule_data = data.pop("fault_schedule", None)
+        workload_data = data.pop("workload", None)
         unknown = set(data) - _SPEC_FIELDS
         if unknown:
             raise ValueError(f"unknown DeploymentSpec fields {sorted(unknown)}")
@@ -151,6 +167,11 @@ class DeploymentSpec:
             from repro.testkit.faults import schedule_from_dict
 
             kwargs["fault_schedule"] = schedule_from_dict(schedule_data)
+        if workload_data is not None:
+            # Lazy import: ``eval`` stays importable without the workload layer.
+            from repro.workload import workload_from_dict
+
+            kwargs["workload"] = workload_from_dict(workload_data)
         return cls(**kwargs)
 
 
@@ -158,6 +179,7 @@ class DeploymentSpec:
 _SPEC_FIELDS = {name for name in DeploymentSpec.__dataclass_fields__} - {
     "fault_plan",
     "fault_schedule",
+    "workload",
 }
 
 
@@ -182,6 +204,16 @@ class RunResult:
     #: Structured per-run trace (``repro.testkit.trace.RunTrace``) when the
     #: runner was built with a recorder; ``None`` otherwise.
     trace: Optional[Any] = None
+    #: Commands dropped by bounded txpools (overflow verdicts), summed over
+    #: all replicas.  Zero for unbounded (seed-behaviour) pools.
+    commands_dropped: int = 0
+    #: Duplicate submissions rejected by txpools, summed over all replicas.
+    commands_duplicate: int = 0
+    #: Largest per-replica pool occupancy observed during the run.
+    txpool_high_watermark: int = 0
+    #: SLO metrics summary (``repro.session.metrics.MetricsObserver``) when
+    #: one was registered on the session; ``None`` otherwise.
+    metrics: Optional[Any] = None
 
     # ------------------------------------------------------------- derived
     @property

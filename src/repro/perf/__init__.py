@@ -16,7 +16,18 @@ from repro.perf.benchmarks import (
 )
 from repro.perf.counters import PerfObserver, StageTimer, collect_cache_stats, time_repeats
 from repro.perf.legacy import LegacyEventQueue, legacy_mode
-from repro.perf.report import SPEEDUP_GATES, BenchEntry, BenchReport, run_hotpath_suite
+from repro.perf.report import (
+    SATURATION_GATES,
+    SPEEDUP_GATES,
+    BenchEntry,
+    BenchReport,
+    run_hotpath_suite,
+)
+from repro.perf.saturation import (
+    SaturationPoint,
+    SaturationSweep,
+    run_saturation_sweep,
+)
 
 __all__ = [
     "BenchEntry",
@@ -25,7 +36,10 @@ __all__ = [
     "BenchResult",
     "LegacyEventQueue",
     "PerfObserver",
+    "SATURATION_GATES",
     "SPEEDUP_GATES",
+    "SaturationPoint",
+    "SaturationSweep",
     "StageTimer",
     "bench_eesmr_steady_state",
     "bench_event_throughput",
@@ -35,5 +49,6 @@ __all__ = [
     "collect_cache_stats",
     "legacy_mode",
     "run_hotpath_suite",
+    "run_saturation_sweep",
     "time_repeats",
 ]

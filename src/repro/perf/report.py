@@ -24,6 +24,7 @@ from repro.perf.benchmarks import (
 )
 from repro.perf.counters import collect_cache_stats
 from repro.perf.legacy import legacy_mode
+from repro.perf.saturation import run_saturation_sweep
 
 #: Speedup floors the perf PRs are gated on (see docs/performance.md).
 #: ``flood_fanout``/``flood_fanout_n100``/``eesmr_steady_state`` compare
@@ -35,6 +36,13 @@ SPEEDUP_GATES = {
     "flood_fanout_n100": 2.0,
     "eesmr_steady_state": 2.0,
     "matrix_wall_clock": 1.7,
+}
+
+#: Capacity floors on the open-loop saturation sweep: the highest
+#: sustainable arrival rate (SLO met, zero drops — virtual time, so the
+#: verdict is host-independent) must not regress below the floor.
+SATURATION_GATES = {
+    "open_loop_saturation": 0.5,
 }
 
 
@@ -139,6 +147,21 @@ class BenchReport:
                     verdict["passed"] = entry.speedup >= floor
             else:
                 verdict["passed"] = entry.speedup >= floor
+            verdicts[name] = verdict
+        saturation = self.notes.get("saturation")
+        for name, floor in SATURATION_GATES.items():
+            verdict = {"floor": floor}
+            if not saturation:
+                verdict["passed"] = False
+                verdict["note"] = "saturation sweep missing from report"
+            else:
+                measured = float(saturation.get("max_sustainable_rate", 0.0))
+                verdict["passed"] = measured >= floor
+                verdict["note"] = (
+                    f"max sustainable open-loop rate {measured} "
+                    f"(SLO p99 <= {saturation.get('slo_p99')}, zero drops; "
+                    f"virtual time, host-independent)"
+                )
             verdicts[name] = verdict
         return verdicts
 
@@ -288,6 +311,9 @@ def run_hotpath_suite(quick: bool = False) -> BenchReport:
     matrix_before = bench_matrix_wall_clock(parallel=1, **matrix_kw)
     matrix_after = bench_matrix_wall_clock(parallel=matrix_parallel, **matrix_kw)
     report.add(matrix_before, matrix_after)
+    # The saturation sweep runs in virtual time (deterministic, fast), so
+    # quick and full mode run the identical sweep.
+    report.notes["saturation"] = run_saturation_sweep().to_dict()
     report.notes["canonical_cache"] = collect_cache_stats()
     report.notes["quick"] = quick
     report.notes["mode"] = (

@@ -1,0 +1,154 @@
+"""Open-loop saturation sweep: the workload-capacity gate.
+
+Sweeps :class:`~repro.workload.OpenLoopPoisson` arrival rates over a fixed
+EESMR deployment with a bounded txpool and a
+:class:`~repro.session.metrics.MetricsObserver` SLO, and reports the
+highest *sustainable* rate — the largest offered rate whose run met the
+p99 commit-latency objective with zero admission drops.
+
+Unlike the wall-clock benchmarks, every number here is **virtual time**:
+the sweep is a pure function of its parameters and seed, so the verdict
+is host-independent and byte-stable — exactly what a tracked gate in
+``BENCH_hotpath.json`` needs.  The capacity being measured is the
+protocol pipeline's: with ``batch_size`` commands per block and the 4Δ
+commit timer, distinct-command service is ~``batch_size / 4Δ`` per unit
+of virtual time, and the sweep's knee sits where offered load crosses it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.txpool import TxPoolOverflowWarning
+from repro.eval.runner import DeploymentSpec, ProtocolRunner
+from repro.session.metrics import MetricsObserver
+from repro.workload import OpenLoopPoisson
+
+#: Default arrival rates swept (commands per unit of virtual time),
+#: bracketing the default deployment's ~0.5/s distinct-command capacity.
+DEFAULT_RATES = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass
+class SaturationPoint:
+    """One swept rate and the SLO metrics its run produced."""
+
+    rate: float
+    offered: int
+    committed: int
+    dropped: int
+    latency_p50: Optional[float]
+    latency_p99: Optional[float]
+    goodput: float
+    queue_high_watermark: int
+    slo_met: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "offered": self.offered,
+            "committed": self.committed,
+            "dropped": self.dropped,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "goodput": round(self.goodput, 6),
+            "queue_high_watermark": self.queue_high_watermark,
+            "slo_met": self.slo_met,
+        }
+
+
+@dataclass
+class SaturationSweep:
+    """The sweep's points plus the derived sustainable-rate verdict."""
+
+    slo_p99: float
+    params: Dict[str, Any]
+    points: List[SaturationPoint] = field(default_factory=list)
+
+    @property
+    def max_sustainable_rate(self) -> float:
+        """The largest swept rate that met the SLO with zero drops."""
+        return max((p.rate for p in self.points if p.slo_met), default=0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo_p99": self.slo_p99,
+            "params": self.params,
+            "points": [point.to_dict() for point in self.points],
+            "max_sustainable_rate": self.max_sustainable_rate,
+        }
+
+
+def run_saturation_sweep(
+    rates: Sequence[float] = DEFAULT_RATES,
+    slo_p99: float = 40.0,
+    n: int = 5,
+    f: int = 1,
+    k: int = 2,
+    target_height: int = 60,
+    block_interval: float = 0.5,
+    batch_size: int = 8,
+    txpool_limit: int = 32,
+    clients: int = 3,
+    seed: int = 17,
+) -> SaturationSweep:
+    """Sweep open-loop arrival rates and report the saturation knee.
+
+    Each point is one deterministic EESMR run at the given rate; the
+    sustainable verdict per point is the observer's ``slo_met`` (p99
+    commit latency within ``slo_p99`` *and* no bounded-pool drops).
+    Overflow warnings are expected above the knee and silenced here —
+    drops are the measurement, not an accident.
+    """
+    sweep = SaturationSweep(
+        slo_p99=slo_p99,
+        params={
+            "n": n,
+            "f": f,
+            "k": k,
+            "target_height": target_height,
+            "block_interval": block_interval,
+            "batch_size": batch_size,
+            "txpool_limit": txpool_limit,
+            "clients": clients,
+            "seed": seed,
+            "rates": list(rates),
+        },
+    )
+    for rate in rates:
+        spec = DeploymentSpec(
+            protocol="eesmr",
+            n=n,
+            f=f,
+            k=k,
+            target_height=target_height,
+            block_interval=block_interval,
+            batch_size=batch_size,
+            seed=seed,
+            workload=OpenLoopPoisson(rate=rate, clients=clients),
+            txpool_limit=txpool_limit,
+        )
+        metrics = MetricsObserver(slo_p99=slo_p99)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", TxPoolOverflowWarning)
+            ProtocolRunner().session(
+                spec, observers=(metrics,)
+            ).run_to_quiescence().finish()
+        summary = metrics.summary()
+        overall = summary["overall"]
+        sweep.points.append(
+            SaturationPoint(
+                rate=rate,
+                offered=summary["offered"],
+                committed=summary["committed_commands"],
+                dropped=summary["dropped"],
+                latency_p50=overall["latency_p50"],
+                latency_p99=overall["latency_p99"],
+                goodput=overall["goodput"],
+                queue_high_watermark=summary["queue_high_watermark"],
+                slo_met=summary["slo_met"],
+            )
+        )
+    return sweep

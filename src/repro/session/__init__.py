@@ -40,6 +40,7 @@ from repro.session.builder import (
     TopologyStage,
     WorkloadStage,
 )
+from repro.session.metrics import MetricsObserver
 from repro.session.observers import (
     CallbackObserver,
     EnergyTimelineObserver,
@@ -57,6 +58,7 @@ __all__ = [
     "ObserverBus",
     "CallbackObserver",
     "PerfObserver",
+    "MetricsObserver",
     "EnergyTimelineObserver",
     "LeaderFollowingController",
     "TopologyStage",

@@ -36,7 +36,8 @@ from repro.crypto.keys import KeyStore
 from repro.crypto.signatures import SignatureScheme, make_scheme
 from repro.energy.ledger import ClusterEnergyLedger
 from repro.eval.runner import DeploymentSpec
-from repro.eval.workloads import client_for_run, commands_for_run, fill_txpools
+from repro.eval.workloads import client_for_run
+from repro.workload import ClosedLoopPreload, WorkloadEngine
 from repro.net.hypergraph import Hypergraph
 from repro.net.network import SimulatedNetwork
 from repro.net.topology import (
@@ -149,9 +150,22 @@ class ReplicaStage:
 
 @dataclass
 class WorkloadStage:
-    """Stage 5: the deterministic command stream, pre-loaded into pools."""
+    """Stage 5: the workload engine's deterministic command stream.
+
+    The default :class:`~repro.workload.ClosedLoopPreload` fills every
+    txpool at build time and pushes no events (the seed behaviour, pinned
+    byte-for-byte by the golden fingerprints).  Arrival-driven engines
+    (open-loop, trace replay) instead schedule one ``workload:arrival``
+    event per command here — after the replica stage's fail-stop timers
+    and before the fault stage's events, an ordering the open-loop
+    determinism tests pin.
+    """
 
     commands: List[Any]
+    #: The engine that produced the stream (never ``None`` after build).
+    engine: Optional[WorkloadEngine] = None
+    #: Commands injected as simulator events (empty for preloads).
+    arrivals: Tuple[Any, ...] = ()
 
 
 @dataclass
@@ -290,6 +304,7 @@ class SessionBuilder:
             command_payload_bytes=spec.command_payload_bytes,
             target_height=spec.target_height,
             block_interval=spec.block_interval,
+            txpool_limit=spec.txpool_limit,
         )
         self.crypto_stage = CryptoStage(keystore, scheme, config)
         return self.crypto_stage
@@ -400,23 +415,12 @@ class SessionBuilder:
 
     # ------------------------------------------------------------ stage 5
     def build_workload_stage(self) -> WorkloadStage:
-        """Deterministic commands, loaded into the client and every txpool."""
-        spec = self.spec
-        replica_stage = self._need("replica_stage")
-        commands = commands_for_run(
-            spec.target_height,
-            spec.batch_size,
-            spec.command_payload_bytes,
-            seed=spec.seed,
+        """Install the spec's workload engine (default: closed-loop preload)."""
+        engine = self.spec.workload if self.spec.workload is not None else ClosedLoopPreload()
+        plan = engine.install(self)
+        self.workload_stage = WorkloadStage(
+            commands=plan.commands, engine=engine, arrivals=plan.arrivals
         )
-        if not self.trusted:
-            # The replicated client tracks its submissions for f+1-ack
-            # acceptance; the trusted baseline's leaves ack via the control
-            # node, matching the seed runner.
-            for command in commands:
-                replica_stage.client.submitted[command.command_id] = command
-        fill_txpools(replica_stage.replicas.values(), commands)
-        self.workload_stage = WorkloadStage(commands)
         return self.workload_stage
 
     # ------------------------------------------------------------ stage 6

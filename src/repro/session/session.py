@@ -316,6 +316,11 @@ class Session:
             blames_sent=sum(replica.stats.blames_sent for replica in replicas.values()),
             sign_operations=scheme.total_sign_operations(),
             verify_operations=scheme.total_verify_operations(),
+            commands_dropped=sum(r.txpool.dropped for r in replicas.values()),
+            commands_duplicate=sum(r.txpool.duplicates for r in replicas.values()),
+            txpool_high_watermark=max(
+                (r.txpool.high_watermark for r in replicas.values()), default=0
+            ),
             replica_snapshots={
                 pid: replica.describe() if hasattr(replica, "describe") else {}
                 for pid, replica in replicas.items()

@@ -294,13 +294,15 @@ def _energy_excluded(evidence: Evidence) -> set:
 
 
 def _workload_command_ids(spec) -> set:
-    """The command ids the deterministic workload generator produced."""
-    from repro.eval.workloads import commands_for_run
+    """The command ids the spec's deterministic workload produced.
 
-    commands = commands_for_run(
-        spec.target_height, spec.batch_size, spec.command_payload_bytes, seed=spec.seed
-    )
-    return {command.command_id for command in commands}
+    Engine-aware: open-loop and trace workloads regenerate their arrival
+    stream as a pure function of the spec, so "everything committed came
+    from the workload" holds for them exactly as for preloads.
+    """
+    from repro.workload import workload_command_ids
+
+    return workload_command_ids(spec)
 
 
 #: The standard battery every scenario cell is checked against.

@@ -43,7 +43,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.runner import MEDIA, PROTOCOLS, DeploymentSpec, ProtocolRunner
+from repro.session.metrics import MetricsObserver
 from repro.testkit import faults
+from repro.workload import OpenLoopPoisson, WorkloadEngine
 from repro.testkit.invariants import (
     DEFAULT_INVARIANTS,
     Evidence,
@@ -165,6 +167,38 @@ ALL_FAULTS = tuple(name for name in FAULT_LIBRARY if name not in DIFFERENTIAL_FA
 #: :class:`~repro.eval.runner.DeploymentSpec.topology`).
 MATRIX_TOPOLOGIES = ("ring-kcast", "fully-connected", "star", "random-kcast")
 
+#: Named workload builders for the matrix's workload axis.  ``"preload"``
+#: (``None``: the default closed-loop engine) is the seed behaviour; the
+#: open-loop entry is a moderate Poisson stream multiplexing three
+#: simulated clients.  Rate-parameterised names (``open-loop:<rate>`` /
+#: ``trace:<file>``) resolve through :func:`resolve_workload`.
+WORKLOAD_LIBRARY: Dict[str, Callable[[], Optional[WorkloadEngine]]] = {
+    "preload": lambda: None,
+    "open-loop": lambda: OpenLoopPoisson(rate=2.0, clients=3),
+}
+
+#: The default workload slice: the seed behaviour only.
+DEFAULT_WORKLOADS = ("preload",)
+
+
+def resolve_workload(name: str) -> Optional[WorkloadEngine]:
+    """Resolve a workload-axis name to an engine (``None`` = preload).
+
+    Accepts :data:`WORKLOAD_LIBRARY` names plus the parameterised CLI
+    forms ``open-loop:<rate>[:<clients>[:<duration>]]`` and
+    ``trace:<file>``.
+    """
+    if name in WORKLOAD_LIBRARY:
+        return WORKLOAD_LIBRARY[name]()
+    if name.startswith("open-loop:") or name.startswith("trace:"):
+        from repro.workload import parse_workload
+
+        return parse_workload(name)
+    raise ValueError(
+        f"unknown workload {name!r}; known: {sorted(WORKLOAD_LIBRARY)} "
+        f"plus open-loop:<rate> / trace:<file>"
+    )
+
 
 @dataclass(frozen=True)
 class ScenarioCell:
@@ -174,9 +208,15 @@ class ScenarioCell:
     fault: str
     medium: str
     topology: str = "ring-kcast"
+    #: Workload-axis name (see :data:`WORKLOAD_LIBRARY`); ``"preload"`` is
+    #: the seed behaviour and keeps pre-axis labels unchanged.
+    workload: str = "preload"
 
     def label(self) -> str:
-        return f"{self.protocol}×{self.fault}×{self.medium}×{self.topology}"
+        base = f"{self.protocol}×{self.fault}×{self.medium}×{self.topology}"
+        if self.workload != "preload":
+            base += f"×{self.workload}"
+        return base
 
 
 @dataclass
@@ -188,6 +228,8 @@ class CellOutcome:
     result: object
     evidence: Evidence
     reports: List[InvariantReport] = field(default_factory=list)
+    #: SLO metrics summary (collected for non-preload workload cells).
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -337,6 +379,7 @@ class ScenarioMatrix:
         fault_names: Sequence[str] = DEFAULT_FAULTS,
         media: Sequence[str] = MEDIA,
         topologies: Sequence[str] = ("ring-kcast",),
+        workloads: Sequence[str] = DEFAULT_WORKLOADS,
         n: int = 5,
         f: int = 1,
         k: int = 2,
@@ -352,10 +395,13 @@ class ScenarioMatrix:
         unknown = [name for name in fault_names if name not in FAULT_LIBRARY]
         if unknown:
             raise ValueError(f"unknown fault schedules {unknown}; known: {sorted(FAULT_LIBRARY)}")
+        for name in workloads:
+            resolve_workload(name)  # raises ValueError on unknown names
         self.protocols = tuple(protocols)
         self.fault_names = tuple(fault_names)
         self.media = tuple(media)
         self.topologies = tuple(topologies)
+        self.workloads = tuple(workloads)
         self.n = n
         self.f = f
         self.k = k
@@ -376,11 +422,12 @@ class ScenarioMatrix:
     def cells(self) -> List[ScenarioCell]:
         """Every cell of the configured cross-product."""
         return [
-            ScenarioCell(protocol, fault, medium, topology)
+            ScenarioCell(protocol, fault, medium, topology, workload)
             for protocol in self.protocols
             for fault in self.fault_names
             for medium in self.media
             for topology in self.topologies
+            for workload in self.workloads
         ]
 
     def build_spec(self, cell: ScenarioCell) -> DeploymentSpec:
@@ -409,6 +456,7 @@ class ScenarioMatrix:
             block_interval=self.block_interval,
             seed=self.seed,
             fault_schedule=schedule,
+            workload=resolve_workload(cell.workload),
         )
 
     # ------------------------------------------------------------ feasibility
@@ -437,9 +485,15 @@ class ScenarioMatrix:
         runner = ProtocolRunner(
             max_events=self.max_events, recorder=TraceRecorder(self.record_events)
         )
-        result = runner.run(spec)
+        # Non-preload cells carry SLO metrics; preload cells stay exactly
+        # the seed pipeline (no extra observer, no perturbed traces).
+        metrics = MetricsObserver() if cell.workload != "preload" else None
+        observers = (metrics,) if metrics is not None else ()
+        result = runner.session(spec, observers=observers).run_to_quiescence().finish()
         evidence = Evidence(spec=spec, result=result, trace=result.trace, label=cell.label())
         outcome = CellOutcome(cell=cell, spec=spec, result=result, evidence=evidence)
+        if metrics is not None:
+            outcome.metrics = metrics.summary()
         outcome.reports = [invariant.run(evidence) for invariant in self.invariants]
         return outcome
 
@@ -500,11 +554,16 @@ class ScenarioMatrix:
         the identical log.
         """
         failures: List[str] = []
-        groups: Dict[Tuple[str, str, str], List[CellOutcome]] = {}
+        groups: Dict[Tuple[str, str, str, str], List[CellOutcome]] = {}
         for outcome in outcomes:
             if outcome.cell.fault != "none":
                 continue
-            key = (outcome.cell.fault, outcome.cell.medium, outcome.cell.topology)
+            key = (
+                outcome.cell.fault,
+                outcome.cell.medium,
+                outcome.cell.topology,
+                outcome.cell.workload,
+            )
             groups.setdefault(key, []).append(outcome)
         for key, group in sorted(groups.items()):
             reference: Optional[Tuple[CellOutcome, List[str]]] = None

@@ -136,6 +136,15 @@ def spec_fingerprint(spec) -> Dict[str, Any]:
         # fingerprints of pre-existing specs stay byte-identical.
         out["edges_per_node"] = getattr(spec, "edges_per_node", 1)
         out["topology_seed"] = getattr(spec, "topology_seed", None)
+    # Same conditional-key rule for the workload layer: a default
+    # closed-loop preload and an unbounded pool are the seed behaviour and
+    # stay invisible, so every pre-existing fingerprint survives.
+    workload = getattr(spec, "workload", None)
+    if workload is not None and not workload.is_default():
+        out["workload"] = workload.describe()
+    txpool_limit = getattr(spec, "txpool_limit", None)
+    if txpool_limit is not None:
+        out["txpool_limit"] = txpool_limit
     return out
 
 
@@ -208,6 +217,14 @@ class TraceRecorder(SessionObserver):
                 "votes_sent": stats.votes_sent,
                 "certificates_formed": stats.certificates_formed,
             }
+            # Admission accounting appears only when something was actually
+            # rejected, so seed-behaviour traces keep their exact key set
+            # (and therefore their golden fingerprints).
+            pool = getattr(replica, "txpool", None)
+            if pool is not None and pool.dropped:
+                trace.replica_stats[pid]["commands_dropped"] = pool.dropped
+            if pool is not None and pool.duplicates:
+                trace.replica_stats[pid]["commands_duplicate"] = pool.duplicates
             for qc in _harvest_qcs(replica):
                 trace.qcs.append(_record_qc(pid, qc, scheme, config))
 

@@ -1,0 +1,45 @@
+"""Pluggable workload engines: how client traffic enters a deployment.
+
+The seed behaviour — generate one deterministic command stream and
+pre-load it into every replica's txpool before the run starts — is one
+engine among several:
+
+* :class:`ClosedLoopPreload` — the byte-identical shim over the seed's
+  ``fill_txpools`` path (golden trace fingerprints pin this);
+* :class:`OpenLoopPoisson` — seeded Poisson arrivals multiplexing many
+  simulated clients, injected as simulator events during the run;
+* :class:`TraceReplay` — a timestamped command stream replayed from a
+  file (or inline entries).
+
+Engines are declarative values: they serialise through
+:meth:`WorkloadEngine.describe` / :func:`workload_from_dict` (the
+``workload`` section of the :class:`~repro.eval.runner.DeploymentSpec`
+schema), generate their arrival stream as a pure function of the spec
+(so invariants and property tests can regenerate it without a
+simulator), and install themselves into a
+:class:`~repro.session.builder.SessionBuilder` at stage 5.
+"""
+
+from repro.workload.engine import (
+    ClosedLoopPreload,
+    OpenLoopPoisson,
+    TraceReplay,
+    WorkloadEngine,
+    WorkloadPlan,
+    default_open_loop_duration,
+    parse_workload,
+    workload_command_ids,
+    workload_from_dict,
+)
+
+__all__ = [
+    "ClosedLoopPreload",
+    "OpenLoopPoisson",
+    "TraceReplay",
+    "WorkloadEngine",
+    "WorkloadPlan",
+    "default_open_loop_duration",
+    "parse_workload",
+    "workload_command_ids",
+    "workload_from_dict",
+]

@@ -9,7 +9,7 @@ import json
 
 import pytest
 
-from repro.perf.report import SPEEDUP_GATES, run_hotpath_suite
+from repro.perf.report import SATURATION_GATES, SPEEDUP_GATES, run_hotpath_suite
 
 pytestmark = pytest.mark.bench
 
@@ -32,7 +32,11 @@ def test_quick_suite_end_to_end(tmp_path):
     payload = json.loads(path.read_text())
     assert payload["report"] == "hotpath"
     assert payload["notes"]["quick"] is True
-    assert set(payload["gates"]) == set(SPEEDUP_GATES)
+    assert set(payload["gates"]) == set(SPEEDUP_GATES) | set(SATURATION_GATES)
     assert len(payload["entries"]) == 5
+    # The quick suite embeds the (virtual-time) saturation sweep too, so
+    # the capacity gate carries a real verdict even at smoke scale.
+    assert payload["notes"]["saturation"]["max_sustainable_rate"] >= 0.5
+    assert payload["gates"]["open_loop_saturation"]["passed"] is True
     # The volatile sidecar is always written alongside the tracked file.
     assert (tmp_path / "BENCH_hotpath.latest.json").exists()

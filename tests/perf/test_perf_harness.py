@@ -12,7 +12,7 @@ from repro.net.network import SimulatedNetwork
 from repro.perf.benchmarks import BenchResult, bench_event_throughput, bench_flood_fanout
 from repro.perf.counters import StageTimer, collect_cache_stats
 from repro.perf.legacy import LegacyEventQueue, legacy_mode
-from repro.perf.report import SPEEDUP_GATES, BenchReport
+from repro.perf.report import SATURATION_GATES, SPEEDUP_GATES, BenchReport
 from repro.sim.events import BucketedEventQueue, EventQueue
 from repro.sim.scheduler import Simulator
 from repro.testkit.trace import TraceRecorder
@@ -44,7 +44,7 @@ def test_bench_report_gates_and_writer(tmp_path):
     assert path.name == "BENCH_hotpath.json"
     payload = json.loads(path.read_text())
     assert payload["entries"][0]["speedup"] == 9.0
-    assert set(payload["gates"]) == set(SPEEDUP_GATES)
+    assert set(payload["gates"]) == set(SPEEDUP_GATES) | set(SATURATION_GATES)
 
 
 def test_bench_report_rejects_mismatched_pairs():

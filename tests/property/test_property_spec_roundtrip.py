@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 from repro.core.adversary import ALLOWED_BEHAVIOURS, FaultPlan
 from repro.eval.runner import MEDIA, PROTOCOLS, TOPOLOGIES, DeploymentSpec
 from repro.testkit import faults
+from repro.workload import ClosedLoopPreload, OpenLoopPoisson, TraceReplay
 
 
 # ------------------------------------------------------------- strategies
@@ -69,6 +70,32 @@ fault_plans = st.builds(
 )
 
 
+# Trace entries are drawn with strictly increasing times and distinct ids
+# (both validated at TraceReplay construction).
+trace_replays = st.lists(
+    st.floats(0, 10), min_size=1, max_size=4, unique=True
+).map(
+    lambda times: TraceReplay(
+        entries=tuple(
+            (t, f"tr{i}", i % 2, None) for i, t in enumerate(sorted(times))
+        )
+    )
+)
+
+workloads = st.one_of(
+    st.none(),
+    st.builds(ClosedLoopPreload, surplus_blocks=st.integers(0, 8)),
+    st.builds(
+        OpenLoopPoisson,
+        rate=st.floats(0.1, 32),
+        clients=st.integers(1, 4),
+        duration=st.one_of(st.none(), st.floats(0.5, 20)),
+        payload_size_bytes=st.one_of(st.none(), st.integers(1, 512)),
+    ),
+    trace_replays,
+)
+
+
 @st.composite
 def specs(draw):
     n = draw(st.integers(3, 12))
@@ -94,6 +121,8 @@ def specs(draw):
         seed=draw(st.integers(0, 2**31)),
         charge_sleep=draw(st.booleans()),
         jitter=draw(st.booleans()),
+        workload=draw(workloads),
+        txpool_limit=draw(st.one_of(st.none(), st.integers(1, 256))),
     )
 
 

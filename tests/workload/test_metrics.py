@@ -1,0 +1,158 @@
+"""SLO metrics: quantiles, fault windows, exporters, sharding equality.
+
+``MetricsObserver`` numbers are pure functions of the deterministic run:
+a serial matrix sweep and a ``parallel=N`` sharded one must report the
+identical summaries.  The Prometheus surface is exercised the way CI has
+it — without ``prometheus_client`` installed — so the zero-dependency
+text exporter and the documented no-op ``export()`` fallback are the
+tested paths.
+"""
+
+import json
+
+from repro.eval.runner import DeploymentSpec, ProtocolRunner
+from repro.session.metrics import (
+    HAVE_PROMETHEUS,
+    MetricsObserver,
+    percentile,
+)
+from repro.testkit import faults
+from repro.testkit.scenarios import ScenarioMatrix
+from repro.workload import OpenLoopPoisson
+
+
+def open_loop_spec(**overrides):
+    overrides.setdefault("workload", OpenLoopPoisson(rate=2.0, clients=3))
+    base = dict(
+        protocol="eesmr",
+        n=5,
+        f=1,
+        k=2,
+        target_height=6,
+        block_interval=0.5,
+        seed=17,
+    )
+    base.update(overrides)
+    return DeploymentSpec(**base)
+
+
+def run_with_metrics(spec, slo_p99=None):
+    metrics = MetricsObserver(slo_p99=slo_p99)
+    result = (
+        ProtocolRunner().session(spec, observers=(metrics,)).run_to_quiescence().finish()
+    )
+    return metrics, result
+
+
+# --------------------------------------------------------------- percentile
+def test_percentile_nearest_rank():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 0.50) == 3.0
+    assert percentile(values, 0.95) == 5.0
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([], 0.5) is None
+
+
+# ------------------------------------------------------------------ summary
+def test_summary_reports_commits_goodput_and_queue_depth():
+    metrics, result = run_with_metrics(open_loop_spec())
+    summary = metrics.summary()
+    overall = summary["overall"]
+    assert summary["offered"] > 0
+    assert summary["committed_commands"] >= 1
+    assert overall["commits"] == summary["committed_commands"]
+    assert overall["goodput"] > 0
+    assert overall["latency_p50"] is not None
+    assert overall["latency_p99"] >= overall["latency_p50"]
+    assert summary["queue_high_watermark"] > 0
+    # The summary also lands on the RunResult for downstream consumers.
+    assert result.metrics == summary
+
+
+def test_fault_windows_segment_the_run():
+    schedule = faults.drop_window(4, start=1.0, end=6.0)
+    metrics, _ = run_with_metrics(open_loop_spec(fault_schedule=schedule))
+    summary = metrics.summary()
+    labels = [window["faults"] for window in summary["windows"]]
+    assert len(labels) >= 3  # nominal → windowed → nominal
+    assert any("@4" in label for label in labels)
+    assert labels[0] == "nominal" and labels[-1] == "nominal"
+    # Window edges tile the run exactly.
+    edges = [(w["start"], w["end"]) for w in summary["windows"]]
+    for (_, prev_end), (start, _) in zip(edges, edges[1:]):
+        assert prev_end == start
+
+
+def test_slo_verdict():
+    generous, _ = run_with_metrics(open_loop_spec(), slo_p99=1e9)
+    assert generous.summary()["slo_met"] is True
+    strict, _ = run_with_metrics(open_loop_spec(), slo_p99=1e-9)
+    assert strict.summary()["slo_met"] is False
+
+
+def test_preload_runs_fall_back_to_run_start_arrivals():
+    """Closed-loop commands carry no arrival stamp; latency is from t=0."""
+    spec = DeploymentSpec(protocol="eesmr", n=5, f=1, k=2, target_height=3, seed=29)
+    metrics, _ = run_with_metrics(spec)
+    summary = metrics.summary()
+    assert summary["committed_commands"] >= 1
+    assert summary["overall"]["latency_p50"] is not None
+
+
+def test_summary_is_plain_json_safe_data():
+    metrics, _ = run_with_metrics(open_loop_spec(), slo_p99=40.0)
+    encoded = json.dumps(metrics.summary(), sort_keys=True)
+    assert json.loads(encoded) == metrics.summary()
+
+
+# ----------------------------------------------------------------- sharding
+def test_metrics_identical_across_serial_and_parallel_matrix():
+    matrix = ScenarioMatrix(
+        protocols=("eesmr",),
+        fault_names=("none", "crash-leader"),
+        media=("ble",),
+        workloads=("preload", "open-loop"),
+        block_interval=0.5,
+    )
+    serial = matrix.run(parallel=1)
+    parallel = matrix.run(parallel=2)
+    assert serial.ok and parallel.ok
+    assert [o.cell for o in serial.outcomes] == [o.cell for o in parallel.outcomes]
+    for a, b in zip(serial.outcomes, parallel.outcomes):
+        assert a.metrics == b.metrics
+        assert a.evidence.trace.fingerprint() == b.evidence.trace.fingerprint()
+    # Preload cells ride the seed pipeline: no metrics attached.
+    assert all(
+        (o.metrics is None) == (o.cell.workload == "preload") for o in serial.outcomes
+    )
+
+
+# ---------------------------------------------------------------- exporters
+def test_prometheus_text_needs_no_dependency():
+    metrics, _ = run_with_metrics(open_loop_spec())
+    text = metrics.prometheus_text()
+    assert text.startswith("# HELP repro_commit_latency_p50 ")
+    for metric in (
+        "repro_commit_latency_p99",
+        "repro_goodput_commands_per_time",
+        "repro_queue_depth_mean",
+        "repro_commands_offered_total",
+        "repro_commands_dropped_total",
+    ):
+        assert f"# TYPE {metric} gauge" in text
+    assert 'window="overall"' in text
+    # Every sample line is "name{labels} value" with a parseable value.
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        _, _, value = line.rpartition(" ")
+        float(value)
+
+
+def test_export_is_noop_without_prometheus_client():
+    metrics, _ = run_with_metrics(open_loop_spec())
+    registry = metrics.export()
+    if HAVE_PROMETHEUS:  # pragma: no cover - dep not installed in CI
+        assert registry is not None
+    else:
+        assert registry is None

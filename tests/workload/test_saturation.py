@@ -1,0 +1,50 @@
+"""The open-loop saturation sweep and its BENCH gate.
+
+Everything here is virtual time: the sweep is a pure function of its
+parameters, so the knee — and therefore the tracked gate verdict — is
+host-independent.
+"""
+
+from repro.perf.report import SATURATION_GATES, BenchReport
+from repro.perf.saturation import run_saturation_sweep
+
+
+def small_sweep(**overrides):
+    params = dict(rates=(0.25, 2.0), target_height=40)
+    params.update(overrides)
+    return run_saturation_sweep(**params)
+
+
+def test_sweep_is_deterministic():
+    assert small_sweep().to_dict() == small_sweep().to_dict()
+
+
+def test_sweep_has_a_knee():
+    sweep = small_sweep()
+    low, high = sweep.points
+    assert low.slo_met and low.dropped == 0
+    assert not high.slo_met and high.dropped > 0
+    assert high.offered > low.offered
+    assert sweep.max_sustainable_rate == 0.25
+
+
+def test_default_sweep_meets_the_gate_floor():
+    """The committed gate verdict: the default sweep sustains the floor."""
+    sweep = run_saturation_sweep()
+    assert sweep.max_sustainable_rate >= SATURATION_GATES["open_loop_saturation"]
+
+
+def test_gate_verdict_flows_into_bench_report():
+    report = BenchReport(name="hotpath")
+    report.notes["saturation"] = small_sweep().to_dict()
+    verdict = report.gates_detail()["open_loop_saturation"]
+    assert verdict["floor"] == SATURATION_GATES["open_loop_saturation"]
+    assert verdict["passed"] is (0.25 >= verdict["floor"])
+    assert "max sustainable" in verdict["note"]
+
+
+def test_gate_fails_when_sweep_is_missing():
+    report = BenchReport(name="hotpath")
+    verdict = report.gates_detail()["open_loop_saturation"]
+    assert verdict["passed"] is False
+    assert "missing" in verdict["note"]
