@@ -20,6 +20,10 @@
 #   make test-workload the workload-engine lane: open-loop determinism,
 #                     txpool backpressure, SLO metrics, Prometheus
 #                     fallback (also part of test-fast; named CI lane)
+#   make test-impairments the lossy-medium lane: wire impairment model,
+#                     reliable-delivery sublayer, loss-budget liveness,
+#                     impaired-run determinism (also part of test-fast;
+#                     named CI lane — see docs/impairments.md)
 #   make fuzz         a short local fuzz campaign (SEED=n ITERATIONS=n to
 #                     override; see docs/fuzzing.md)
 #   make lint         ruff over src/tests/examples (critical rules only:
@@ -32,7 +36,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all test-corpus test-recovery test-workload fuzz bench bench-smoke bench-gate lint
+.PHONY: test-fast test-matrix test-all test-corpus test-recovery test-workload test-impairments fuzz bench bench-smoke bench-gate lint
 
 test-fast:
 	$(PYTEST) -x -q
@@ -45,6 +49,10 @@ test-recovery:
 
 test-workload:
 	$(PYTEST) -q tests/workload
+
+test-impairments:
+	$(PYTEST) -q tests/net/test_impairment.py tests/property/test_property_impairment.py \
+		tests/fuzz/test_planted_mutants.py::test_retransmission_giveup_mutant_is_found_and_shrunk
 
 SEED ?= 0
 ITERATIONS ?= 20

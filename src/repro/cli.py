@@ -90,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="virtual time between successive proposals (default 0.0)",
     )
+    run.add_argument(
+        "--impair",
+        action="append",
+        default=None,
+        metavar="CLAUSE",
+        help="wire impairment clause; repeatable. Grammar: "
+        "'loss:<p>[:<start>:<end>]', 'duplicate:<p>', 'jitter:<seconds>', "
+        "'reorder:<p>', 'ble[:<start>:<end>]' (advertisement-loss residual "
+        "calibrated from the medium's redundancy) and 'retries:<n>' "
+        "(reliable-sublayer retry budget, default 3)",
+    )
 
     matrix = sub.add_parser(
         "matrix", help="run a scenario-matrix sweep with the invariant battery"
@@ -125,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="virtual time between successive proposals (default 0.0; "
         "open-loop cells need a positive interval to be meaningful)",
+    )
+    matrix.add_argument(
+        "--impairments",
+        nargs="+",
+        default=None,
+        help="impairment-axis names from repro.testkit.scenarios."
+        "IMPAIRMENT_LIBRARY ('none', 'ble-calibrated', 'lossy') or "
+        "parameterised 'loss:<p>' / 'duplicate:<p>' / 'jitter:<s>' / "
+        "'reorder:<p>' / 'ble' clauses (default: none only)",
     )
     matrix.add_argument(
         "--parallel", type=int, default=None, help="worker processes (default: serial)"
@@ -181,6 +201,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.spec) as handle:
             spec = DeploymentSpec.from_dict(json.load(handle))
     else:
+        from repro.net.impairment import parse_impairment
         from repro.workload import parse_workload
 
         fault_plan = FaultPlan()
@@ -199,6 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             workload=parse_workload(args.workload) if args.workload else None,
             txpool_limit=args.txpool_limit,
+            impairment=parse_impairment(args.impair) if args.impair else None,
         )
     engine = spec.workload
     if engine is not None and not engine.is_default():
@@ -230,6 +252,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{result.commands_duplicate} duplicate "
             f"(high watermark {result.txpool_high_watermark})"
         )
+    if result.deliveries_dropped or result.deliveries_retransmitted or result.delivery_giveups:
+        print(
+            f"lossy deliveries    : {result.deliveries_dropped} dropped / "
+            f"{result.deliveries_retransmitted} retransmitted / "
+            f"{result.delivery_giveups} given up"
+        )
     if metrics is not None:
         summary = metrics.summary()
         overall = summary["overall"]
@@ -250,7 +278,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     # Lazy import: the testkit (and its sweep machinery) is only needed here.
-    from repro.testkit.scenarios import DEFAULT_FAULTS, DEFAULT_WORKLOADS, ScenarioMatrix
+    from repro.testkit.scenarios import (
+        DEFAULT_FAULTS,
+        DEFAULT_IMPAIRMENTS,
+        DEFAULT_WORKLOADS,
+        ScenarioMatrix,
+    )
 
     matrix = ScenarioMatrix(
         protocols=tuple(args.protocols),
@@ -258,6 +291,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         media=tuple(args.media),
         topologies=tuple(args.topologies),
         workloads=tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS,
+        impairments=tuple(args.impairments) if args.impairments else DEFAULT_IMPAIRMENTS,
         n=args.nodes,
         f=args.faulty,
         k=args.kcast,

@@ -123,6 +123,10 @@ class TrustedBaselineReplica(BaseReplica):
     ) -> None:
         super().__init__(sim, pid, config, scheme, network, meter, ack_router)
         self.control_node_id = control_node_id
+        # Retransmission latency on a lossy wire can reorder TB_ORDERs;
+        # dangling blocks wait here (keyed by parent hash) until their
+        # ancestry arrives.  Empty for the whole run on a clean medium.
+        self._pending_orders: Dict[str, Block] = {}
 
     def start(self) -> None:
         self._upload_pending()
@@ -161,9 +165,20 @@ class TrustedBaselineReplica(BaseReplica):
         self.store_block(block)
         if self.blocks.has_ancestry(block):
             self.commit_chain(block)
+            self._commit_buffered_orders()
+        else:
+            self._pending_orders[block.parent_hash] = block
         # Upload the next batch for the following consensus round.
         if self.committed_height < self.config.target_height:
             self._upload_pending()
+
+    def _commit_buffered_orders(self) -> None:
+        """Commit any buffered TB_ORDERs the new tip just gave ancestry to."""
+        while True:
+            child = self._pending_orders.pop(self.b_com.block_hash, None)
+            if child is None:
+                return
+            self.commit_chain(child)
 
     def describe(self) -> Dict[str, Any]:
         return {

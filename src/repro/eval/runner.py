@@ -73,6 +73,11 @@ class DeploymentSpec:
     #: Bound on each replica's pending-command pool (``None`` = unbounded,
     #: the seed behaviour).  Threaded into ``ProtocolConfig.txpool_limit``.
     txpool_limit: Optional[int] = None
+    #: Optional wire impairment (``repro.net.impairment.ImpairmentSpec``),
+    #: duck-typed to keep ``eval`` lean.  ``None`` (the default) is the seed
+    #: behaviour: a perfectly reliable medium.  Serialises through
+    #: :meth:`ImpairmentSpec.describe` / ``impairment_from_dict``.
+    impairment: Optional[Any] = None
     seed: int = 0
     charge_sleep: bool = False
     jitter: bool = True
@@ -141,6 +146,9 @@ class DeploymentSpec:
             ),
             "workload": self.workload.describe() if self.workload is not None else None,
             "txpool_limit": self.txpool_limit,
+            "impairment": (
+                self.impairment.describe() if self.impairment is not None else None
+            ),
         }
         return out
 
@@ -151,6 +159,7 @@ class DeploymentSpec:
         plan_data = data.pop("fault_plan", None)
         schedule_data = data.pop("fault_schedule", None)
         workload_data = data.pop("workload", None)
+        impairment_data = data.pop("impairment", None)
         unknown = set(data) - _SPEC_FIELDS
         if unknown:
             raise ValueError(f"unknown DeploymentSpec fields {sorted(unknown)}")
@@ -172,6 +181,10 @@ class DeploymentSpec:
             from repro.workload import workload_from_dict
 
             kwargs["workload"] = workload_from_dict(workload_data)
+        if impairment_data is not None:
+            from repro.net.impairment import impairment_from_dict
+
+            kwargs["impairment"] = impairment_from_dict(impairment_data)
         return cls(**kwargs)
 
 
@@ -180,6 +193,7 @@ _SPEC_FIELDS = {name for name in DeploymentSpec.__dataclass_fields__} - {
     "fault_plan",
     "fault_schedule",
     "workload",
+    "impairment",
 }
 
 
@@ -214,6 +228,13 @@ class RunResult:
     #: SLO metrics summary (``repro.session.metrics.MetricsObserver``) when
     #: one was registered on the session; ``None`` otherwise.
     metrics: Optional[Any] = None
+    #: Hop deliveries dropped by the wire impairment model (0 on a clean
+    #: medium — the seed behaviour).
+    deliveries_dropped: int = 0
+    #: Retransmissions performed by the reliable-delivery sublayer.
+    deliveries_retransmitted: int = 0
+    #: Deliveries the reliable sublayer abandoned after exhausting retries.
+    delivery_giveups: int = 0
 
     # ------------------------------------------------------------- derived
     @property

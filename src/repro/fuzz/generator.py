@@ -43,7 +43,16 @@ DEFAULT_KINDS: Tuple[str, ...] = (
     "PartitionWindow",
     "CrashRecoverWindow",
     "LeaderFollowingCrash",
+    "LossWindow",
+    "DuplicateWindow",
+    "JitterWindow",
 )
+
+#: Loss/duplicate probabilities drawn for impairment windows.  Moderate on
+#: purpose: the reliable sublayer's default retry budget covers these, so
+#: honest runs stay live and a finding under them is a real differential,
+#: not an expected give-up.
+IMPAIRMENT_PROBABILITIES: Tuple[float, ...] = (0.25, 0.5)
 
 #: Times are drawn on a fixed grid so generated schedules serialise to
 #: short, stable JSON (and window narrowing meets drop-atom candidates on
@@ -192,6 +201,19 @@ class ScheduleGenerator:
         if kind == "CrashRecoverWindow":
             start, heal = self._window()
             return faults.CrashRecoverWindow(node, start, heal)
+        if kind == "LossWindow":
+            start, end = self._short_window()
+            return faults.LossWindow(node, start, end, loss=self._impairment_probability())
+        if kind == "DuplicateWindow":
+            start, end = self._short_window()
+            return faults.DuplicateWindow(
+                node, start, end, probability=self._impairment_probability()
+            )
+        if kind == "JitterWindow":
+            start, end = self._short_window()
+            return faults.JitterWindow(
+                node, start, end, jitter=self._grid_time(minimum=TIME_QUANTUM)
+            )
         if kind == "LeaderFollowingCrash":
             return faults.LeaderFollowingCrash(
                 budget=self.rng.randint(1, self.config.max_adaptive_budget),
@@ -214,3 +236,14 @@ class ScheduleGenerator:
         start = self._grid_time()
         end = self._grid_time(minimum=start + TIME_QUANTUM)
         return start, max(end, start + TIME_QUANTUM)
+
+    def _impairment_probability(self) -> float:
+        return self.rng.choice(IMPAIRMENT_PROBABILITIES)
+
+    def _short_window(self) -> Tuple[float, float]:
+        """A window of at most 4 quanta: short enough that default-budget
+        retry chains straddle it, so honest runs essentially never give up
+        and impairment findings are signal, not retry-budget noise."""
+        start = self._grid_time()
+        length = self.rng.randint(1, 4) * TIME_QUANTUM
+        return start, start + length

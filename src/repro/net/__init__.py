@@ -14,6 +14,12 @@ from repro.net.network import (
     NetworkStats,
     default_wire_size,
 )
+from repro.net.impairment import (
+    ImpairmentModel,
+    ImpairmentSpec,
+    impairment_from_dict,
+    parse_impairment,
+)
 
 __all__ = [
     "HyperEdge",
@@ -27,4 +33,8 @@ __all__ = [
     "SimulatedNetwork",
     "NetworkStats",
     "default_wire_size",
+    "ImpairmentModel",
+    "ImpairmentSpec",
+    "impairment_from_dict",
+    "parse_impairment",
 ]

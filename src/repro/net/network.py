@@ -28,17 +28,21 @@ from __future__ import annotations
 import itertools
 import warnings
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.hashing import canonical_cache
 from repro.energy.ledger import ClusterEnergyLedger
 from repro.net.hypergraph import HyperEdge, Hypergraph
+from repro.net.impairment import ImpairmentModel, ImpairmentSpec
 from repro.radio.ble import BleAdvertisementKCast
 from repro.radio.gatt import BleGattUnicast
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
 from repro.sim.rng import SeededRNG
+
+#: Wire size of a reliable-delivery ACK (sequence number + flood id).
+ACK_WIRE_BYTES = 8
 
 #: Relay policy signature: (origin, message) -> should this node forward it?
 RelayPolicy = Callable[[int, Any], bool]
@@ -174,6 +178,10 @@ class SimulatedNetwork:
         self.sim = sim
         self.hypergraph = hypergraph
         self.ledger = ledger
+        # Reserved exclusively for hop-jitter draws (:meth:`_hop_latency`).
+        # Every other stochastic consumer (the impairment model, the
+        # reliable sublayer's backoff jitter) derives its own child stream,
+        # so new randomness can never perturb baseline delivery timing.
         self.rng = rng or SeededRNG(0)
         self.kcast_radio = kcast_radio or BleAdvertisementKCast()
         self.unicast_radio = unicast_radio or BleGattUnicast()
@@ -226,6 +234,22 @@ class SimulatedNetwork:
         # counter.  Exposed via :meth:`recovery_metrics`.
         self.unbalanced_reconnects = 0
         self._warned_unbalanced_reconnect = False
+        # Wire-level impairment (off by default: ``None`` keeps the delivery
+        # path byte-identical to the seed — one attribute test per hop).
+        # Created lazily by :meth:`configure_impairment` / the timed
+        # impairment fault atoms via :meth:`impair_node`.
+        self.impairment: Optional[ImpairmentModel] = None
+        #: Retry/backoff parameters of the reliable-delivery sublayer.
+        #: Imported lazily: ``repro.recovery``'s package init reaches the
+        #: session/eval layers, which import back into ``repro.net``.
+        from repro.recovery.reliable import ReliabilityPolicy
+
+        self.reliability = ReliabilityPolicy()
+        # Optional (node, event, detail, time) callback fired on reliable
+        # sublayer lifecycle transitions ("retry" / "recovered" /
+        # "gave_up") — the session observer bus's ``on_retransmit``.
+        self.retransmit_observer = None
+        self._ack_cost_memo = None
 
     # ---------------------------------------------------------- registration
     def register(self, process: Process) -> None:
@@ -341,6 +365,62 @@ class SimulatedNetwork:
         """Net-layer counters surfaced to the recovery subsystem."""
         return {"unbalanced_reconnects": self.unbalanced_reconnects}
 
+    # ----------------------------------------------------------- impairment
+    def configure_impairment(self, spec: Optional[ImpairmentSpec]) -> ImpairmentModel:
+        """Install a wire-level impairment (see :mod:`repro.net.impairment`).
+
+        The model's RNG is derived from the network stream with a pure
+        ``child()`` call, so configuring (or never configuring) an
+        impairment leaves the hop-jitter stream byte-identical.  The
+        spec's retransmission budget is mirrored onto
+        :attr:`reliability` so one knob governs the reliable sublayer.
+        """
+        model = self._ensure_impairment()
+        if spec is not None:
+            model.spec = spec
+            if spec.max_retries != self.reliability.max_retries:
+                self.reliability = replace(self.reliability, max_retries=spec.max_retries)
+        return model
+
+    def _ensure_impairment(self) -> ImpairmentModel:
+        model = self.impairment
+        if model is None:
+            model = ImpairmentModel(
+                None,
+                self.rng.child("impairment"),
+                loss_model=getattr(self.kcast_radio, "loss_model", None),
+            )
+            self.impairment = model
+        return model
+
+    def impair_node(self, pid: int, kind: str, value: float) -> None:
+        """Push one per-node impairment overlay (a fault window opening).
+
+        Overlays stack like the refcounted relay/partition mutators:
+        nested windows compose and each :meth:`unimpair_node` pops one.
+        """
+        self._ensure_impairment().push(pid, kind, value)
+        if self.fault_observer is not None:
+            self.fault_observer(pid, f"impair-{kind}", True, self.sim.now)
+        self.invalidate_plans()
+
+    def unimpair_node(self, pid: int, kind: str) -> None:
+        """Pop the most recent ``kind`` overlay on ``pid`` (window closing)."""
+        model = self.impairment
+        if model is None:
+            return
+        model.pop(pid, kind)
+        if self.fault_observer is not None:
+            self.fault_observer(pid, f"impair-{kind}", False, self.sim.now)
+        self.invalidate_plans()
+
+    def impairment_metrics(self) -> Optional[Dict[str, int]]:
+        """Aggregate impairment/retransmission counters, or ``None`` when
+        the wire has never been impaired."""
+        if self.impairment is None:
+            return None
+        return self.impairment.stats_dict()
+
     def invalidate_plans(self) -> None:
         """Invalidate every compiled dissemination plan.
 
@@ -352,6 +432,11 @@ class SimulatedNetwork:
 
     # -------------------------------------------------------------- timing
     def _hop_latency(self) -> float:
+        # Draws only from ``self.rng`` — the dedicated jitter stream.  The
+        # impairment model and retransmission chains draw their latencies
+        # from their own child stream, so the sequence of jitter draws (and
+        # with it every baseline fingerprint) is independent of whether the
+        # wire is impaired.
         if not self.jitter:
             return self.hop_delay
         return self.hop_delay * self.rng.uniform(0.5, 1.0)
@@ -578,6 +663,28 @@ class SimulatedNetwork:
         size: Optional[int] = None,
         plan: Optional[DisseminationPlan] = None,
     ) -> None:
+        imp = self.impairment
+        if imp is not None and imp.engaged(self.sim.now):
+            self._impaired_reception(
+                flood_id, hop_sender, receiver, origin, message, cost, latency, size, plan, imp
+            )
+            return
+        self._schedule_arrival(
+            flood_id, hop_sender, receiver, origin, message, cost, latency, size, plan
+        )
+
+    def _schedule_arrival(
+        self,
+        flood_id: int,
+        hop_sender: int,
+        receiver: int,
+        origin: int,
+        message: Any,
+        cost,
+        latency: float,
+        size: Optional[int] = None,
+        plan: Optional[DisseminationPlan] = None,
+    ) -> None:
         def arrive() -> None:
             delivered = self._delivered.get(flood_id)
             if delivered is None:
@@ -613,6 +720,204 @@ class SimulatedNetwork:
         else:
             label = "net:flood"
         self.sim.schedule(latency, arrive, label=label)
+
+    # ------------------------------------------------- impaired delivery
+    def _impaired_reception(
+        self,
+        flood_id: int,
+        hop_sender: int,
+        receiver: int,
+        origin: int,
+        message: Any,
+        cost,
+        latency: float,
+        size: Optional[int],
+        plan: Optional[DisseminationPlan],
+        imp: ImpairmentModel,
+    ) -> None:
+        """Judge one hop delivery against the impairment model.
+
+        A dropped delivery hands off to the reliable sublayer's
+        retransmission chain; a duplicated one arrives twice (the radio
+        does not dedup — the receiver pays energy for both copies, the
+        flood dedup set drops the payload); jitter/reorder verdicts delay
+        the arrival.  All extra latency draws come from the impairment
+        stream, never from the hop-jitter stream.
+        """
+        dropped, duplicated, extra = imp.judge(receiver, cost, self.sim.now, self.hop_delay)
+        if dropped:
+            self._begin_retransmit(
+                flood_id, hop_sender, receiver, origin, message, cost, size, plan, imp
+            )
+            return
+        if extra:
+            latency += extra
+        self._schedule_arrival(
+            flood_id, hop_sender, receiver, origin, message, cost, latency, size, plan
+        )
+        if duplicated:
+            dup_latency = latency + self.hop_delay * imp.rng.uniform(0.25, 0.75)
+            self._schedule_arrival(
+                flood_id, hop_sender, receiver, origin, message, cost, dup_latency, size, plan
+            )
+
+    def _begin_retransmit(
+        self,
+        flood_id: int,
+        hop_sender: int,
+        receiver: int,
+        origin: int,
+        message: Any,
+        cost,
+        size: Optional[int],
+        plan: Optional[DisseminationPlan],
+        imp: ImpairmentModel,
+    ) -> None:
+        if self.reliability.max_retries <= 0:
+            self._flood_giveup(flood_id, hop_sender, receiver, imp)
+            return
+        if self.gc_floods:
+            # Chain token: hold the flood's dedup state alive while the
+            # retransmission chain is pending.  Released on give-up, on an
+            # implicit ACK (delivery via another edge), or once the
+            # recovered copy's real arrival has been scheduled (which
+            # takes its own in-flight reference).
+            self._in_flight[flood_id] = self._in_flight.get(flood_id, 0) + 1
+        self._schedule_retransmit(
+            flood_id, hop_sender, receiver, origin, message, cost, size, plan, imp, attempt=0
+        )
+
+    def _schedule_retransmit(
+        self,
+        flood_id: int,
+        hop_sender: int,
+        receiver: int,
+        origin: int,
+        message: Any,
+        cost,
+        size: Optional[int],
+        plan: Optional[DisseminationPlan],
+        imp: ImpairmentModel,
+        attempt: int,
+    ) -> None:
+        policy = self.reliability
+        delay = policy.retry_delay(attempt, imp.rng)
+        if self.sim.trace_enabled or self.eager_annotations:
+            label = f"net:rtx{flood_id}->{receiver}"
+        else:
+            label = "net:rtx"
+
+        def resend() -> None:
+            delivered = self._delivered.get(flood_id)
+            if (
+                delivered is None
+                or receiver in delivered
+                or receiver in self._partition
+                or hop_sender in self._partition
+            ):
+                # Implicit ACK — the receiver got this flood via another
+                # edge in the meantime — or a partition cut the link.
+                self._release_chain(flood_id)
+                return
+            meter = self._meter(hop_sender)
+            tracing = meter.trace_enabled or self.eager_annotations
+            wire = size if size is not None else default_wire_size(message)
+            meter.charge_transmit(
+                cost.sender_energy_j,
+                self.sim.now,
+                detail=f"retransmit->{receiver} {wire}B" if tracing else "",
+            )
+            self.stats.record_transmission(hop_sender, wire)
+            imp.note_retransmit(receiver)
+            if self.retransmit_observer is not None:
+                self.retransmit_observer(
+                    receiver,
+                    "retry",
+                    f"flood {flood_id} retry {attempt + 1} from {hop_sender}",
+                    self.sim.now,
+                )
+            if imp.rng.chance(imp.loss_probability(receiver, cost, self.sim.now)):
+                if attempt + 1 >= policy.max_retries:
+                    self._flood_giveup(flood_id, hop_sender, receiver, imp)
+                    self._release_chain(flood_id)
+                else:
+                    self._schedule_retransmit(
+                        flood_id,
+                        hop_sender,
+                        receiver,
+                        origin,
+                        message,
+                        cost,
+                        size,
+                        plan,
+                        imp,
+                        attempt + 1,
+                    )
+                return
+            # Recovered: the copy got through and the receiver ACKs it.
+            latency = (
+                self.hop_delay * imp.rng.uniform(0.5, 1.0) if self.jitter else self.hop_delay
+            )
+            self._charge_ack(hop_sender, receiver)
+            imp.note_recovered(receiver)
+            if self.retransmit_observer is not None:
+                self.retransmit_observer(
+                    receiver,
+                    "recovered",
+                    f"flood {flood_id} retry {attempt + 1} from {hop_sender}",
+                    self.sim.now,
+                )
+            self._schedule_arrival(
+                flood_id, hop_sender, receiver, origin, message, cost, latency, size, plan
+            )
+            self._release_chain(flood_id)
+
+        self.sim.schedule(delay, resend, label=label)
+
+    def _flood_giveup(
+        self, flood_id: int, hop_sender: int, receiver: int, imp: ImpairmentModel
+    ) -> None:
+        imp.note_giveup(receiver)
+        if self.retransmit_observer is not None:
+            self.retransmit_observer(
+                receiver, "gave_up", f"flood {flood_id} from {hop_sender}", self.sim.now
+            )
+
+    def _release_chain(self, flood_id: int) -> None:
+        if not self.gc_floods:
+            return
+        remaining = self._in_flight.get(flood_id)
+        if remaining is not None:
+            self._in_flight[flood_id] = remaining - 1
+            self._maybe_retire_flood(flood_id)
+
+    def _ack_cost(self):
+        cost = self._ack_cost_memo
+        if cost is None:
+            cost = self.unicast_radio.transmission_cost(ACK_WIRE_BYTES)
+            self._ack_cost_memo = cost
+        return cost
+
+    def _charge_ack(self, hop_sender: int, receiver: int) -> None:
+        """Charge the per-message ACK of a recovered reliable delivery.
+
+        The receiver transmits a small ACK unicast; the retransmitting
+        sender receives it.  First-attempt deliveries stay ACK-free (the
+        sublayer is lazy: it only engages explicit acknowledgements once
+        a loss is suspected), so the baseline energy model is unchanged.
+        """
+        cost = self._ack_cost()
+        now = self.sim.now
+        receiver_meter = self._meter(receiver)
+        tracing = receiver_meter.trace_enabled or self.eager_annotations
+        receiver_meter.charge_transmit(
+            cost.sender_energy_j, now, detail=f"ack->{hop_sender}" if tracing else ""
+        )
+        sender_meter = self._meter(hop_sender)
+        sender_meter.charge_receive(
+            cost.receiver_energy_j, now, detail=f"ack from {receiver}" if tracing else ""
+        )
+        self.stats.record_transmission(receiver, ACK_WIRE_BYTES)
 
     def _deliver(
         self, flood_id: int, origin: int, receiver: int, message: Any, local: bool = False
@@ -651,6 +956,24 @@ class SimulatedNetwork:
         self.stats.record_transmission(src, size)
         latency = self._hop_latency()
 
+        imp = self.impairment
+        if imp is not None and imp.engaged(self.sim.now):
+            dropped, duplicated, extra = imp.judge(dst, cost, self.sim.now, self.hop_delay)
+            if dropped:
+                self._begin_unicast_retransmit(src, dst, message, cost, size, imp)
+                return
+            if extra:
+                latency += extra
+            self._schedule_unicast_arrival(src, dst, message, cost, latency)
+            if duplicated:
+                dup_latency = latency + self.hop_delay * imp.rng.uniform(0.25, 0.75)
+                self._schedule_unicast_arrival(src, dst, message, cost, dup_latency)
+            return
+        self._schedule_unicast_arrival(src, dst, message, cost, latency)
+
+    def _schedule_unicast_arrival(
+        self, src: int, dst: int, message: Any, cost, latency: float
+    ) -> None:
         def arrive() -> None:
             meter = self._meter(dst)
             detail = (
@@ -669,6 +992,69 @@ class SimulatedNetwork:
         else:
             label = "net:uni"
         self.sim.schedule(latency, arrive, label=label)
+
+    def _begin_unicast_retransmit(
+        self, src: int, dst: int, message: Any, cost, size: int, imp: ImpairmentModel
+    ) -> None:
+        if self.reliability.max_retries <= 0:
+            imp.note_giveup(dst)
+            if self.retransmit_observer is not None:
+                self.retransmit_observer(
+                    dst, "gave_up", f"unicast from {src}", self.sim.now
+                )
+            return
+        self._schedule_unicast_retransmit(src, dst, message, cost, size, imp, attempt=0)
+
+    def _schedule_unicast_retransmit(
+        self, src: int, dst: int, message: Any, cost, size: int, imp: ImpairmentModel, attempt: int
+    ) -> None:
+        policy = self.reliability
+        delay = policy.retry_delay(attempt, imp.rng)
+        if self.sim.trace_enabled or self.eager_annotations:
+            label = f"net:rtx-uni {src}->{dst}"
+        else:
+            label = "net:rtx-uni"
+
+        def resend() -> None:
+            if src in self._partition or dst in self._partition:
+                return
+            meter = self._meter(src)
+            tracing = meter.trace_enabled or self.eager_annotations
+            meter.charge_transmit(
+                cost.sender_energy_j,
+                self.sim.now,
+                detail=f"retransmit->{dst} {size}B" if tracing else "",
+            )
+            self.stats.record_transmission(src, size)
+            imp.note_retransmit(dst)
+            if self.retransmit_observer is not None:
+                self.retransmit_observer(
+                    dst, "retry", f"unicast retry {attempt + 1} from {src}", self.sim.now
+                )
+            if imp.rng.chance(imp.loss_probability(dst, cost, self.sim.now)):
+                if attempt + 1 >= policy.max_retries:
+                    imp.note_giveup(dst)
+                    if self.retransmit_observer is not None:
+                        self.retransmit_observer(
+                            dst, "gave_up", f"unicast from {src}", self.sim.now
+                        )
+                else:
+                    self._schedule_unicast_retransmit(
+                        src, dst, message, cost, size, imp, attempt + 1
+                    )
+                return
+            latency = (
+                self.hop_delay * imp.rng.uniform(0.5, 1.0) if self.jitter else self.hop_delay
+            )
+            self._charge_ack(src, dst)
+            imp.note_recovered(dst)
+            if self.retransmit_observer is not None:
+                self.retransmit_observer(
+                    dst, "recovered", f"unicast retry {attempt + 1} from {src}", self.sim.now
+                )
+            self._schedule_unicast_arrival(src, dst, message, cost, latency)
+
+        self.sim.schedule(delay, resend, label=label)
 
     # ------------------------------------------------------------- helpers
     def multicast_neighbors(self, origin: int, message: Any) -> None:

@@ -1,0 +1,70 @@
+"""Retry/backoff policy of the reliable-delivery sublayer.
+
+When a wire-level impairment (:mod:`repro.net.impairment`) drops a hop
+delivery, the sending node does not learn about it instantly: the
+reliable sublayer models a per-message ACK timeout, after which the
+sender retransmits with exponential backoff and seeded jitter — the same
+state-machine shape as :class:`repro.recovery.policy.RecoveryPolicy`,
+but per physical hop delivery rather than per catch-up request.  Each
+retransmission charges full radio energy through the existing ledger;
+after ``max_retries`` failed copies the sender gives up and the loss
+becomes the protocol's problem (and the loss-budget liveness invariant's
+evidence — see ``docs/impairments.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """Tunable parameters of per-hop reliable delivery.
+
+    The defaults are coupled to the loss-budget liveness allowance the
+    same way :class:`~repro.recovery.policy.RecoveryPolicy` is coupled to
+    ``CATCH_UP_GRACE``: a *working* retransmission chain recovers a
+    dropped delivery within a couple of ACK timeouts, comfortably inside
+    a :class:`~repro.testkit.faults.LossWindow`'s bounded latency
+    allowance, while a chain that gives up early (the planted
+    retransmission-giveup mutant) leaves the receiver permanently behind
+    and the invariant fails it once the allowance lapses.
+    """
+
+    #: Virtual time to wait for the per-message ACK before declaring one
+    #: copy lost.  Must exceed a delivery + ACK round trip (2 hops of at
+    #: most ``hop_delay`` each).
+    ack_timeout: float = 2.0
+    #: Retransmissions after the initial copy before giving up.
+    max_retries: int = 3
+    #: Backoff before retry ``i`` (0-based) is
+    #: ``base * factor**i * (1 + jitter_draw)``.
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    #: Jitter draws uniformly from ``[0, jitter)`` — deterministic per
+    #: seed via the impairment model's :class:`~repro.sim.rng.SeededRNG`.
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be positive, got {self.ack_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff base/factor out of range: {self.backoff_base}/{self.backoff_factor}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: SeededRNG) -> float:
+        """The jittered delay before 0-based retry ``retry_index``."""
+        base = self.backoff_base * self.backoff_factor**retry_index
+        return base * (1.0 + rng.uniform(0.0, self.jitter))
+
+    def retry_delay(self, retry_index: int, rng: SeededRNG) -> float:
+        """Total delay before 0-based retry ``retry_index`` fires: the ACK
+        timeout that detected the loss plus the jittered backoff."""
+        return self.ack_timeout + self.backoff(retry_index, rng)

@@ -284,6 +284,10 @@ class SessionBuilder:
             hop_delay=spec.hop_delay,
             jitter=spec.jitter,
         )
+        if spec.impairment is not None:
+            # The model derives its own child stream; an unimpaired spec
+            # builds the exact network the seed did (no model at all).
+            network.configure_impairment(spec.impairment)
         self.medium_stage = MediumStage(kcast_radio, unicast_radio, ledger, network)
         return self.medium_stage
 
@@ -480,6 +484,8 @@ class SessionBuilder:
             sim.event_observer = bus.event
         if bus.overrides("on_fault_window"):
             network.fault_observer = bus.fault_window
+        if bus.overrides("on_retransmit"):
+            network.retransmit_observer = bus.retransmit
         if bus.overrides("on_block_commit") or bus.overrides("on_view_change"):
             for replica in replica_stage.replicas.values():
                 replica.hooks = bus

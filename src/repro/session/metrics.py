@@ -194,6 +194,18 @@ class MetricsObserver(SessionObserver):
                 (pool.high_watermark for pool in pools), default=0
             ),
         }
+        # Delivery-layer counters appear only when the run had a lossy
+        # medium attached, so existing summary key-set assertions survive.
+        imp = (
+            getattr(self._session.network, "impairment", None)
+            if self._session is not None
+            else None
+        )
+        if imp is not None:
+            out["delivery_ratio"] = imp.delivery_ratio()
+            out["deliveries_dropped"] = imp.dropped
+            out["deliveries_retransmitted"] = imp.retransmits
+            out["delivery_giveups"] = imp.giveups
         if self.slo_p99 is not None:
             p99 = overall["latency_p99"]
             out["slo_p99"] = self.slo_p99

@@ -61,6 +61,17 @@ class SessionObserver:
         :class:`~repro.recovery.controller.RecoveryController`.
         """
 
+    def on_retransmit(self, node: int, event: str, detail: str, time: float) -> None:
+        """A reliable-delivery lifecycle event for a lossy hop to ``node``.
+
+        ``event`` is one of ``retry`` (a dropped delivery is being
+        retransmitted), ``recovered`` (a retransmitted copy got through
+        and was ACKed) or ``gave_up`` (the retry budget is exhausted);
+        ``detail`` is a human-readable description of the hop.  Fired by
+        the network's reliable sublayer under wire impairments
+        (:mod:`repro.net.impairment`).
+        """
+
     def on_session_end(self, session, result) -> None:
         """The run is quiescent and ``result`` is assembled."""
 
@@ -73,6 +84,7 @@ OBSERVER_HOOKS = (
     "on_view_change",
     "on_fault_window",
     "on_recovery",
+    "on_retransmit",
     "on_session_end",
 )
 
@@ -142,6 +154,10 @@ class ObserverBus:
     def recovery(self, node: int, event: str, detail: dict, time: float) -> None:
         for observer in self._observers:
             observer.on_recovery(node, event, detail, time)
+
+    def retransmit(self, node: int, event: str, detail: str, time: float) -> None:
+        for observer in self._observers:
+            observer.on_retransmit(node, event, detail, time)
 
     def session_end(self, session, result) -> None:
         for observer in self._observers:

@@ -318,6 +318,15 @@ class Session:
             verify_operations=scheme.total_verify_operations(),
             commands_dropped=sum(r.txpool.dropped for r in replicas.values()),
             commands_duplicate=sum(r.txpool.duplicates for r in replicas.values()),
+            deliveries_dropped=(
+                network.impairment.dropped if network.impairment is not None else 0
+            ),
+            deliveries_retransmitted=(
+                network.impairment.retransmits if network.impairment is not None else 0
+            ),
+            delivery_giveups=(
+                network.impairment.giveups if network.impairment is not None else 0
+            ),
             txpool_high_watermark=max(
                 (r.txpool.high_watermark for r in replicas.values()), default=0
             ),

@@ -397,6 +397,144 @@ class CrashRecoverWindow(Fault):
 
 
 @dataclass(frozen=True)
+class _ImpairmentWindow(Fault):
+    """Base for timed wire-impairment windows on one node's deliveries.
+
+    Installs a per-node overlay on the network's
+    :class:`~repro.net.impairment.ImpairmentModel` at ``start`` and pops
+    it at ``end``.  Overlays compose with any global spec-level
+    impairment and with each other (nested windows stack), mirroring the
+    refcounted relay/partition mutators.
+    """
+
+    start: float = 0.0
+    end: float = 0.0
+
+    byzantine: ClassVar[bool] = False
+    liveness_exempt: ClassVar[bool] = False
+
+    #: The overlay kind pushed onto the impairment model.
+    impairment_kind: ClassVar[str] = ""
+    #: Name of the dataclass field holding the overlay value.
+    value_field: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        # Type checks matter because these atoms are rebuilt from JSON
+        # (corpus entries, ``--spec`` files) — see CrashRecoverWindow.
+        for name in ("start", "end", self.value_field):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{type(self).__name__} {name} must be a number, got {value!r}"
+                )
+        if self.start < 0:
+            raise ValueError(f"start time cannot be negative, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"degenerate impairment window [{self.start}, {self.end}): "
+                "end must be strictly after start"
+            )
+        value = getattr(self, self.value_field)
+        if not 0.0 < value <= 1.0:
+            raise ValueError(
+                f"{type(self).__name__} {self.value_field} must be in (0, 1], got {value}"
+            )
+
+    def narrowed(self, start: float, end: float) -> "Fault":
+        if start < self.start or end > self.end:
+            raise ValueError(
+                f"[{start}, {end}) is not inside the window [{self.start}, {self.end})"
+            )
+        return dataclasses.replace(self, start=start, end=end)
+
+    def install(self, sim, network, replicas) -> None:
+        kind = self.impairment_kind
+        value = getattr(self, self.value_field)
+        sim.schedule_at(
+            self.start,
+            lambda: network.impair_node(self.node, kind, value),
+            label=f"fault:{kind}-on@{self.node}",
+        )
+        sim.schedule_at(
+            self.end,
+            lambda: network.unimpair_node(self.node, kind),
+            label=f"fault:{kind}-off@{self.node}",
+        )
+
+
+@dataclass(frozen=True)
+class LossWindow(_ImpairmentWindow):
+    """An otherwise-correct node whose hop deliveries are *dropped* with
+    probability ``loss`` during ``[start, end)``.
+
+    The reliable-delivery sublayer retransmits each drop with bounded
+    retries, so a working stack recovers the window's losses shortly
+    after it closes.  The node is therefore liveness-exempt only for a
+    **bounded latency allowance** past the window — proportional to the
+    degradation severity and capped at ``2 * CATCH_UP_GRACE`` — after
+    which the loss-budget liveness invariant (and the base liveness
+    invariant) hold it to the full target again.  This mirrors the PR 7
+    heal-grace design instead of granting a blanket exemption.
+    """
+
+    loss: float = 0.5
+
+    liveness_exempt: ClassVar[bool] = True
+    impairment_kind: ClassVar[str] = "loss"
+    value_field: ClassVar[str] = "loss"
+
+    def impairment(self) -> Optional[Tuple[float, float]]:
+        # Only a total blackout (loss ~ 1) makes the node unable to take
+        # part in dissemination at all; sub-unity loss leaves probabilistic
+        # connectivity that redundancy-backed retransmission recovers, so
+        # it does not count against Lemma A.5 strong connectivity.
+        if self.loss >= 0.999:
+            return (self.start, self.end)
+        return None
+
+    def exemption_end(self) -> float:
+        # One grace share for the retransmission tail (retry chains of
+        # drops near the window's end run past it) plus a loss-proportional
+        # share for protocol catch-up.  Bounded: never more than twice the
+        # recovery grace, unlike the permanent Byzantine exemption.
+        return self.end + CATCH_UP_GRACE * (1.0 + min(1.0, self.loss))
+
+
+@dataclass(frozen=True)
+class DuplicateWindow(_ImpairmentWindow):
+    """An otherwise-correct node receiving *duplicated* hop deliveries
+    with probability ``probability`` during ``[start, end)``.
+
+    The radio cannot know a payload is old before receiving it, so the
+    node pays receive energy for every copy; the flood dedup layer drops
+    the payload.  Duplication never prevents progress, so the node stays
+    held to full liveness.
+    """
+
+    probability: float = 0.5
+
+    impairment_kind: ClassVar[str] = "duplicate"
+    value_field: ClassVar[str] = "probability"
+
+
+@dataclass(frozen=True)
+class JitterWindow(_ImpairmentWindow):
+    """An otherwise-correct node whose hop deliveries are delayed by up to
+    ``jitter`` extra hop delays during ``[start, end)``.
+
+    Models a congested or interference-heavy patch of the medium.  The
+    delay is bounded (at most ``jitter * hop_delay`` extra per hop), so
+    the node stays held to full liveness — protocols choose Δ above the
+    flooding bound and the experiments' Δ absorbs bounded extra delay.
+    """
+
+    jitter: float = 0.5
+
+    impairment_kind: ClassVar[str] = "jitter"
+    value_field: ClassVar[str] = "jitter"
+
+
+@dataclass(frozen=True)
 class LeaderFollowingCrash(Fault):
     """An *adaptive* (mobile) crash adversary that follows the rotation.
 
@@ -707,6 +845,23 @@ def leader_following_crash(
     return FaultSchedule((LeaderFollowingCrash(budget=budget, start=start, interval=interval),))
 
 
+def loss_window(node: int, start: float, end: float, loss: float = 0.5) -> FaultSchedule:
+    """A correct node whose incoming deliveries drop with probability ``loss``."""
+    return FaultSchedule((LossWindow(node, start, end, loss),))
+
+
+def duplicate_window(
+    node: int, start: float, end: float, probability: float = 0.5
+) -> FaultSchedule:
+    """A correct node receiving duplicated deliveries for a window."""
+    return FaultSchedule((DuplicateWindow(node, start, end, probability),))
+
+
+def jitter_window(node: int, start: float, end: float, jitter: float = 0.5) -> FaultSchedule:
+    """A correct node whose deliveries are jitter-delayed for a window."""
+    return FaultSchedule((JitterWindow(node, start, end, jitter),))
+
+
 # -------------------------------------------------------------- serialization
 #: Fault-atom kinds reconstructible from :meth:`Fault.describe` output.
 FAULT_KINDS = {
@@ -720,6 +875,9 @@ FAULT_KINDS = {
         PartitionWindow,
         CrashRecoverWindow,
         LeaderFollowingCrash,
+        LossWindow,
+        DuplicateWindow,
+        JitterWindow,
     )
 }
 

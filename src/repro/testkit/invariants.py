@@ -285,6 +285,92 @@ class EnergyConservationInvariant(Invariant):
             )
 
 
+class LossBudgetLivenessInvariant(Invariant):
+    """Degraded delivery buys a bounded allowance, not a pardon.
+
+    A node behind a lossy window (a :class:`~repro.testkit.faults.LossWindow`
+    atom, or a spec-level wire impairment) may legitimately lag while drops
+    and retransmissions play out — but the reliable sublayer's retry chains
+    bound how long: once the window's *loss-budget allowance* (its
+    ``exemption_end``, i.e. window close plus a loss-scaled grace) has
+    passed, the node is held to the full target height, exactly like the
+    post-heal obligation on partitions.  Failure messages attribute the
+    stall with the run's delivery accounting (drops, retransmits, give-ups),
+    so a retry budget that silently gives up is distinguishable from a
+    genuinely infeasible loss rate.
+
+    A run with no lossy medium attached is vacuously fine — the plain
+    :class:`LivenessInvariant` governs it and this check is a no-op.
+    """
+
+    name = "loss-budget-liveness"
+
+    def check(self, evidence: Evidence) -> None:
+        from repro.testkit.faults import CATCH_UP_GRACE
+
+        schedule = evidence.spec.fault_schedule
+        atoms = schedule.faults if schedule is not None else ()
+        loss_atoms = [f for f in atoms if getattr(f, "impairment_kind", "") == "loss"]
+        spec_impairment = getattr(evidence.spec, "impairment", None)
+        spec_loss = spec_impairment is not None and (
+            spec_impairment.loss > 0 or spec_impairment.ble_calibrated
+        )
+        if not loss_atoms and not spec_loss:
+            return
+        sim_time = evidence.trace.sim_time
+        target = evidence.spec.target_height
+        # Per-node allowance: the latest loss-budget expiry of any loss
+        # window covering the node.  A spec-level impairment exposes every
+        # node; an unbounded one gives no allowance at all — the reliable
+        # sublayer is expected to sustain liveness *through* permanent
+        # moderate loss (the calibrated BLE operating point).
+        allowance: dict = {}
+        for fault in loss_atoms:
+            for node in fault.nodes():
+                allowance[node] = max(allowance.get(node, 0.0), fault.exemption_end())
+        if spec_loss:
+            if math.isinf(spec_impairment.end):
+                spec_allowance = 0.0
+            else:
+                spec_allowance = spec_impairment.end + CATCH_UP_GRACE * (
+                    1.0 + min(1.0, spec_impairment.loss)
+                )
+            for node in evidence.trace.committed_heights:
+                allowance[node] = max(allowance.get(node, 0.0), spec_allowance)
+        # Nodes excused by *other* still-unexpired exempting faults (e.g. a
+        # partition inside its heal grace) keep their excuse here too.
+        excused = set(evidence.byzantine)
+        for fault in atoms:
+            if getattr(fault, "impairment_kind", "") == "loss":
+                continue
+            if not fault.liveness_exempt:
+                continue
+            if fault.exemption_end() <= sim_time:
+                continue
+            excused.update(fault.nodes())
+        impairments = evidence.trace.network.get("impairments", {})
+        for node in sorted(allowance):
+            if node in excused or node not in evidence.trace.committed_heights:
+                continue
+            if sim_time <= allowance[node]:
+                continue  # the run ended inside the loss-budget allowance
+            height = evidence.trace.committed_heights[node]
+            if height < target:
+                stats = evidence.trace.replica_stats.get(node, {})
+                self.fail(
+                    evidence,
+                    f"node {node} stalled at height {height} < target {target} "
+                    f"after its loss-budget allowance expired at "
+                    f"t={allowance[node]:.3f} (run ended t={sim_time:.3f}; "
+                    f"node drops={stats.get('deliveries_dropped', 0)} "
+                    f"retransmits={stats.get('deliveries_retransmitted', 0)} "
+                    f"giveups={stats.get('delivery_giveups', 0)}; "
+                    f"run drops={impairments.get('dropped', 0)} "
+                    f"retransmits={impairments.get('retransmits', 0)} "
+                    f"giveups={impairments.get('giveups', 0)})",
+                )
+
+
 def _energy_excluded(evidence: Evidence) -> set:
     """Nodes excluded from correct-energy totals besides Byzantine ones."""
     if evidence.spec.protocol == "trusted-baseline":
@@ -312,6 +398,7 @@ DEFAULT_INVARIANTS: tuple = (
     QuorumCertificateInvariant(),
     MonotoneVirtualTimeInvariant(),
     EnergyConservationInvariant(),
+    LossBudgetLivenessInvariant(),
 )
 
 

@@ -37,12 +37,14 @@ assumption.  Skips are recorded on the :class:`MatrixReport`.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.runner import MEDIA, PROTOCOLS, DeploymentSpec, ProtocolRunner
+from repro.net.impairment import ImpairmentSpec
 from repro.session.metrics import MetricsObserver
 from repro.testkit import faults
 from repro.workload import OpenLoopPoisson, WorkloadEngine
@@ -110,6 +112,14 @@ FAULT_LIBRARY: Dict[str, Callable[[int], Optional[faults.FaultSchedule]]] = {
     "stacked-drop-windows": lambda n: faults.drop_window(n - 1, start=1.0, end=5.0).add(
         faults.RelayDropWindow(n - 1, 2.0, 9.0)
     ),
+    # ---- wire impairment windows -------------------------------------------
+    # Environmental, not Byzantine: the node's incoming hops degrade for a
+    # window while the reliable sublayer retries.  Loss at 0.5 leaves honest
+    # retry chains (default budget 3) straddling the window comfortably;
+    # duplicate/jitter windows never excuse liveness at all.
+    "loss-window": lambda n: faults.loss_window(n - 1, start=1.0, end=6.0, loss=0.5),
+    "duplicate-window": lambda n: faults.duplicate_window(n - 1, start=1.0, end=6.0),
+    "jitter-window": lambda n: faults.jitter_window(n - 1, start=1.0, end=6.0, jitter=0.5),
     # ---- adaptive (mobile) adversaries ------------------------------------
     # A leader-following crash adversary: executed mid-run over the
     # session's steppable control, it fail-stops whichever node the
@@ -181,6 +191,42 @@ WORKLOAD_LIBRARY: Dict[str, Callable[[], Optional[WorkloadEngine]]] = {
 DEFAULT_WORKLOADS = ("preload",)
 
 
+#: Named wire-impairment builders for the matrix's impairment axis.
+#: ``"none"`` (no impairment model at all) is the seed behaviour and keeps
+#: pre-axis traces byte-identical.  ``"ble-calibrated"`` drops each hop with
+#: the advertisement-loss residual the medium's redundancy leaves
+#: (``p_loss**r`` — the paper's BLE operating point); ``"lossy"`` is a flat
+#: moderate loss the reliable sublayer must absorb.
+IMPAIRMENT_LIBRARY: Dict[str, Callable[[], Optional[ImpairmentSpec]]] = {
+    "none": lambda: None,
+    "ble-calibrated": lambda: ImpairmentSpec(ble_calibrated=True),
+    "lossy": lambda: ImpairmentSpec(loss=0.2),
+}
+
+#: The default impairment slice: the seed behaviour only.
+DEFAULT_IMPAIRMENTS = ("none",)
+
+
+def resolve_impairment(name: str) -> Optional[ImpairmentSpec]:
+    """Resolve an impairment-axis name to a spec (``None`` = pristine wire).
+
+    Accepts :data:`IMPAIRMENT_LIBRARY` names plus the parameterised CLI
+    clause forms ``loss:<p>[:<start>:<end>]``, ``duplicate:<p>``,
+    ``jitter:<s>``, ``reorder:<p>``, ``ble`` and ``retries:<n>``
+    (see :func:`repro.net.impairment.parse_impairment`).
+    """
+    if name in IMPAIRMENT_LIBRARY:
+        return IMPAIRMENT_LIBRARY[name]()
+    if ":" in name or name == "ble":
+        from repro.net.impairment import parse_impairment
+
+        return parse_impairment([name])
+    raise ValueError(
+        f"unknown impairment {name!r}; known: {sorted(IMPAIRMENT_LIBRARY)} "
+        f"plus loss:<p> / duplicate:<p> / jitter:<s> / reorder:<p> / ble"
+    )
+
+
 def resolve_workload(name: str) -> Optional[WorkloadEngine]:
     """Resolve a workload-axis name to an engine (``None`` = preload).
 
@@ -211,11 +257,16 @@ class ScenarioCell:
     #: Workload-axis name (see :data:`WORKLOAD_LIBRARY`); ``"preload"`` is
     #: the seed behaviour and keeps pre-axis labels unchanged.
     workload: str = "preload"
+    #: Impairment-axis name (see :data:`IMPAIRMENT_LIBRARY`); ``"none"`` is
+    #: the seed behaviour and keeps pre-axis labels unchanged.
+    impairment: str = "none"
 
     def label(self) -> str:
         base = f"{self.protocol}×{self.fault}×{self.medium}×{self.topology}"
         if self.workload != "preload":
             base += f"×{self.workload}"
+        if self.impairment != "none":
+            base += f"×{self.impairment}"
         return base
 
 
@@ -309,9 +360,25 @@ def schedule_feasibility(spec: DeploymentSpec) -> Optional[str]:
       charged against the worst *adversarial* placement;
     * **unconstructible topology** — the spec's topology parameters cannot
       produce a graph at all (an unsatisfiable ``random-kcast`` request,
-      or bounded connectivity resampling exhausted).
+      or bounded connectivity resampling exhausted);
+    * **uncoverable loss** — an *unbounded* wire impairment whose loss rate
+      exceeds what the reliable sublayer's retry budget can cover: a hop
+      fails outright with probability ``loss**(retries+1)``, and past a
+      residual of 0.25 no redundancy argument makes liveness expectable.
+      Windowed impairments are never gated — the loss-budget invariant's
+      bounded allowance absorbs them.
     """
     n = spec.n
+    impairment = getattr(spec, "impairment", None)
+    if impairment is not None and impairment.loss > 0 and math.isinf(impairment.end):
+        retries = impairment.max_retries
+        residual = impairment.loss ** (retries + 1)
+        if residual > 0.25:
+            return (
+                f"unbounded loss {impairment.loss} with {retries} retries leaves "
+                f"residual per-hop failure probability {residual:.3f} > 0.25; "
+                f"the retry budget cannot cover it"
+            )
     schedule = spec.fault_schedule
     if schedule is not None:
         outside = [p for p in schedule.perturbed_nodes() if not 0 <= p < n]
@@ -380,6 +447,7 @@ class ScenarioMatrix:
         media: Sequence[str] = MEDIA,
         topologies: Sequence[str] = ("ring-kcast",),
         workloads: Sequence[str] = DEFAULT_WORKLOADS,
+        impairments: Sequence[str] = DEFAULT_IMPAIRMENTS,
         n: int = 5,
         f: int = 1,
         k: int = 2,
@@ -397,11 +465,14 @@ class ScenarioMatrix:
             raise ValueError(f"unknown fault schedules {unknown}; known: {sorted(FAULT_LIBRARY)}")
         for name in workloads:
             resolve_workload(name)  # raises ValueError on unknown names
+        for name in impairments:
+            resolve_impairment(name)  # raises ValueError on unknown names
         self.protocols = tuple(protocols)
         self.fault_names = tuple(fault_names)
         self.media = tuple(media)
         self.topologies = tuple(topologies)
         self.workloads = tuple(workloads)
+        self.impairments = tuple(impairments)
         self.n = n
         self.f = f
         self.k = k
@@ -422,12 +493,13 @@ class ScenarioMatrix:
     def cells(self) -> List[ScenarioCell]:
         """Every cell of the configured cross-product."""
         return [
-            ScenarioCell(protocol, fault, medium, topology, workload)
+            ScenarioCell(protocol, fault, medium, topology, workload, impairment)
             for protocol in self.protocols
             for fault in self.fault_names
             for medium in self.media
             for topology in self.topologies
             for workload in self.workloads
+            for impairment in self.impairments
         ]
 
     def build_spec(self, cell: ScenarioCell) -> DeploymentSpec:
@@ -457,6 +529,7 @@ class ScenarioMatrix:
             seed=self.seed,
             fault_schedule=schedule,
             workload=resolve_workload(cell.workload),
+            impairment=resolve_impairment(cell.impairment),
         )
 
     # ------------------------------------------------------------ feasibility
@@ -554,7 +627,7 @@ class ScenarioMatrix:
         the identical log.
         """
         failures: List[str] = []
-        groups: Dict[Tuple[str, str, str, str], List[CellOutcome]] = {}
+        groups: Dict[Tuple[str, str, str, str, str], List[CellOutcome]] = {}
         for outcome in outcomes:
             if outcome.cell.fault != "none":
                 continue
@@ -563,6 +636,7 @@ class ScenarioMatrix:
                 outcome.cell.medium,
                 outcome.cell.topology,
                 outcome.cell.workload,
+                outcome.cell.impairment,
             )
             groups.setdefault(key, []).append(outcome)
         for key, group in sorted(groups.items()):

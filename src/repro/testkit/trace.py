@@ -145,6 +145,11 @@ def spec_fingerprint(spec) -> Dict[str, Any]:
     txpool_limit = getattr(spec, "txpool_limit", None)
     if txpool_limit is not None:
         out["txpool_limit"] = txpool_limit
+    # Wire impairments follow the same rule: absent (the seed medium) means
+    # absent from the fingerprint, so unimpaired specs hash identically.
+    impairment = getattr(spec, "impairment", None)
+    if impairment is not None:
+        out["impairment"] = impairment.describe()
     return out
 
 
@@ -225,6 +230,18 @@ class TraceRecorder(SessionObserver):
                 trace.replica_stats[pid]["commands_dropped"] = pool.dropped
             if pool is not None and pool.duplicates:
                 trace.replica_stats[pid]["commands_duplicate"] = pool.duplicates
+            # Delivery accounting likewise appears only on nodes the lossy
+            # medium actually touched — unimpaired runs keep their key set.
+            imp = getattr(network, "impairment", None)
+            if imp is not None:
+                if imp.drops_by_node.get(pid):
+                    trace.replica_stats[pid]["deliveries_dropped"] = imp.drops_by_node[pid]
+                if imp.retransmits_by_node.get(pid):
+                    trace.replica_stats[pid]["deliveries_retransmitted"] = (
+                        imp.retransmits_by_node[pid]
+                    )
+                if imp.giveups_by_node.get(pid):
+                    trace.replica_stats[pid]["delivery_giveups"] = imp.giveups_by_node[pid]
             for qc in _harvest_qcs(replica):
                 trace.qcs.append(_record_qc(pid, qc, scheme, config))
 
@@ -246,6 +263,11 @@ class TraceRecorder(SessionObserver):
             },
             "per_node_bytes": {str(k): v for k, v in sorted(stats.per_node_bytes.items())},
         }
+        # The impairment block exists only when an impairment model was ever
+        # attached, keeping unimpaired network sections byte-identical.
+        imp = getattr(network, "impairment", None)
+        if imp is not None:
+            trace.network["impairments"] = imp.stats_dict()
         trace.safety = {
             "consistent": safety.consistent,
             "common_prefix_height": safety.common_prefix_height,

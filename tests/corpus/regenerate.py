@@ -50,6 +50,15 @@ ADJACENT_DROP_WINDOWS = [
     {"kind": "RelayDropWindow", "node": 2, "start": 0.5, "end": 0.75},
 ]
 
+#: Mutant D's shrunk reproducer: one short loss window over a receiver
+#: just as the first block floods.  On main the reliable sublayer retries
+#: the dropped hop and the node catches up inside its loss-budget
+#: allowance; under the zeroed-retry mutant the drop was final and the
+#: loss-budget liveness invariant fired once the allowance expired.
+LOSSY_RECEIVER = [
+    {"kind": "LossWindow", "node": 3, "start": 0.25, "end": 0.75, "loss": 0.5}
+]
+
 
 def regenerate() -> None:
     corpus = Corpus(ROOT)
@@ -98,6 +107,22 @@ def regenerate() -> None:
         note="mutant B reproducer: starves liveness when relay heals leak, "
         "clean on main",
         slug="eesmr-adjacent-drop-windows",
+    )
+    corpus.add(
+        spec_dict(LOSSY_RECEIVER, "eesmr"),
+        expect="clean",
+        found={
+            "seed": 2,
+            "mutant": "RetransmissionGiveUpMutantBuilder",
+            "failures": [
+                ["eesmr", "liveness"],
+                ["eesmr", "loss-budget-liveness"],
+            ],
+            "source": "tests/fuzz/test_planted_mutants.py",
+        },
+        note="mutant D reproducer: a zeroed retry budget strands the lossy "
+        "receiver past its loss-budget allowance, clean on main",
+        slug="eesmr-lossy-receiver",
     )
     for entry in Corpus(ROOT).entries():
         print(f"{entry.path.name}: expect={entry.expect}")

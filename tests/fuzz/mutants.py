@@ -29,7 +29,18 @@ through the same broken build.
   window-scoped liveness exemption lapses and the liveness invariant
   fires.  This is the mutant the window-scoped exemption exists to catch:
   under the old permanent-pardon semantics it would have been invisible.
+* **Mutant D (retransmission give-up)** — the reliable-delivery
+  sublayer's retry budget is zeroed, so every delivery a ``LossWindow``
+  drops is abandoned on the spot instead of retried.  Honest retry chains
+  straddle short loss windows and recover once loss subsides; the mutant
+  leaves the lossy node permanently short of floods, it stalls below the
+  target height, and the loss-budget liveness invariant fires once the
+  window's bounded allowance expires.  This is the mutant the
+  degradation-aware allowance exists to catch: a blanket loss-window
+  exemption would have pardoned it forever.
 """
+
+import dataclasses
 
 from repro.core.eesmr.replica import EesmrReplica
 from repro.session.builder import MediumStage, ReplicaStage, SessionBuilder
@@ -69,6 +80,23 @@ class LeakyRelayMutantBuilder(SessionBuilder):
     def build_medium_stage(self) -> MediumStage:
         stage = super().build_medium_stage()
         stage.network.allow_relay = lambda pid: None
+        return stage
+
+
+class RetransmissionGiveUpMutantBuilder(SessionBuilder):
+    """Mutant D: the reliable sublayer never retries — drops are final.
+
+    Replacing the network's :class:`~repro.recovery.reliable.ReliabilityPolicy`
+    with a zero retry budget makes every impairment drop take the give-up
+    path immediately, exactly the failure mode a silently-exhausted retry
+    configuration would produce in deployment.
+    """
+
+    def build_medium_stage(self) -> MediumStage:
+        stage = super().build_medium_stage()
+        stage.network.reliability = dataclasses.replace(
+            stage.network.reliability, max_retries=0
+        )
         return stage
 
 

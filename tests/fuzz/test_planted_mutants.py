@@ -20,6 +20,7 @@ from mutants import (
     CommitRuleMutantBuilder,
     DroppedCatchUpQcMutantBuilder,
     LeakyRelayMutantBuilder,
+    RetransmissionGiveUpMutantBuilder,
 )
 
 from repro.fuzz import FuzzConfig, Fuzzer
@@ -31,9 +32,10 @@ SEED_BUDGET = 10
 #: eesmr-only keeps each iteration to a single protocol run — the mutants
 #: are both planted in the EESMR build path.
 COMMIT_RULE_CONFIG = FuzzConfig(protocols=("eesmr",))
-#: Re-pinned when CrashRecoverWindow joined the generator's default kinds
-#: (the draw stream shifted); seed 5 draws an equivocation within budget.
-COMMIT_RULE_SEED = 5
+#: Re-pinned whenever new kinds join the generator's default draw set (the
+#: draw stream shifts) — last for the LossWindow/DuplicateWindow/JitterWindow
+#: impairment atoms; seed 7 draws an equivocation within budget.
+COMMIT_RULE_SEED = 7
 
 #: The relay-leak only compounds across drop windows, so the hunt draws
 #: from that one atom kind (the generator's ``kinds`` knob exists for
@@ -48,6 +50,12 @@ LEAKY_RELAY_SEED = 1
 #: honest control).
 DROPPED_QC_CONFIG = FuzzConfig(protocols=("sync-hotstuff",), kinds=("CrashRecoverWindow",))
 DROPPED_QC_SEED = 0
+
+#: The give-up mutant only bites under dropped deliveries, so the hunt
+#: draws loss windows; seed 2 lands a window the mutant cannot survive
+#: (an early drop the victim never gets back) within the budget.
+GIVEUP_CONFIG = FuzzConfig(protocols=("eesmr",), kinds=("LossWindow",))
+GIVEUP_SEED = 2
 
 
 def test_commit_rule_mutant_is_found_and_shrunk():
@@ -94,6 +102,22 @@ def test_dropped_catch_up_qc_mutant_is_found_and_shrunk():
     assert ("sync-hotstuff", "liveness") in shrunk.failure_key
 
 
+def test_retransmission_giveup_mutant_is_found_and_shrunk():
+    """A reliable sublayer whose retry budget silently reads zero strands
+    the lossy node — the loss-budget liveness invariant (a bounded
+    allowance, not a blanket loss-window exemption) must catch it."""
+    fuzzer = Fuzzer(
+        GIVEUP_CONFIG, seed=GIVEUP_SEED, builder_factory=RetransmissionGiveUpMutantBuilder
+    )
+    report = fuzzer.run(SEED_BUDGET)
+    assert report.findings, "the zeroed retry budget must be found within the seed budget"
+    shrunk = report.findings[0].shrunk
+    atoms = shrunk.schedule.describe()
+    assert len(atoms) <= 3
+    assert {atom["kind"] for atom in atoms} == {"LossWindow"}
+    assert ("eesmr", "loss-budget-liveness") in shrunk.failure_key
+
+
 def test_honest_controls_are_clean():
     """The stock builder under the exact same configs and seeds finds
     nothing — the meta-tests above fire because of the mutations."""
@@ -101,6 +125,7 @@ def test_honest_controls_are_clean():
         (COMMIT_RULE_CONFIG, COMMIT_RULE_SEED),
         (LEAKY_RELAY_CONFIG, LEAKY_RELAY_SEED),
         (DROPPED_QC_CONFIG, DROPPED_QC_SEED),
+        (GIVEUP_CONFIG, GIVEUP_SEED),
     ):
         report = Fuzzer(config, seed=seed).run(SEED_BUDGET)
         assert not report.failed, [f.detection.describe() for f in report.findings]

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.core.adversary import ALLOWED_BEHAVIOURS, FaultPlan
 from repro.eval.runner import MEDIA, PROTOCOLS, TOPOLOGIES, DeploymentSpec
+from repro.net.impairment import ImpairmentSpec
 from repro.testkit import faults
 from repro.workload import ClosedLoopPreload, OpenLoopPoisson, TraceReplay
 
@@ -51,6 +52,28 @@ fault_atoms = st.one_of(
         start=st.floats(0, 5),
         interval=st.floats(0.1, 4),
     ),
+    # Impairment-window values live in (0, 1]; min_value stays clear of 0.
+    st.builds(
+        faults.LossWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 4.5),
+        end=st.floats(5, 10),
+        loss=st.floats(0.05, 1.0),
+    ),
+    st.builds(
+        faults.DuplicateWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 4.5),
+        end=st.floats(5, 10),
+        probability=st.floats(0.05, 1.0),
+    ),
+    st.builds(
+        faults.JitterWindow,
+        node=st.integers(0, 9),
+        start=st.floats(0, 4.5),
+        end=st.floats(5, 10),
+        jitter=st.floats(0.05, 1.0),
+    ),
 )
 
 # Distinct-node atom tuples (a node may carry at most one Byzantine
@@ -80,6 +103,22 @@ trace_replays = st.lists(
             (t, f"tr{i}", i % 2, None) for i, t in enumerate(sorted(times))
         )
     )
+)
+
+impairments = st.one_of(
+    st.none(),
+    st.builds(
+        ImpairmentSpec,
+        loss=st.floats(0, 0.9),
+        duplicate=st.floats(0, 0.9),
+        jitter=st.floats(0, 2),
+        reorder=st.floats(0, 0.9),
+        start=st.floats(0, 4.5),
+        end=st.floats(5, 10),
+        ble_calibrated=st.booleans(),
+        max_retries=st.integers(0, 6),
+    ),
+    st.builds(ImpairmentSpec, ble_calibrated=st.just(True)),
 )
 
 workloads = st.one_of(
@@ -123,6 +162,7 @@ def specs(draw):
         jitter=draw(st.booleans()),
         workload=draw(workloads),
         txpool_limit=draw(st.one_of(st.none(), st.integers(1, 256))),
+        impairment=draw(impairments),
     )
 
 

@@ -120,3 +120,23 @@ def test_trusted_baseline_no_inter_replica_traffic():
     # All traffic is unicasts to/from the control node; no floods at all.
     assert result.network.broadcasts == 0
     assert result.network.unicasts > 0
+
+
+def test_trusted_baseline_commits_reordered_orders():
+    """Retransmission latency on a lossy wire can deliver TB_ORDERs out of
+    height order; the replica buffers dangling blocks and commits them once
+    their ancestry arrives instead of stranding the suffix forever."""
+    from repro.net.impairment import ImpairmentSpec
+
+    spec = DeploymentSpec(
+        protocol="trusted-baseline",
+        n=5,
+        f=1,
+        k=2,
+        target_height=4,
+        medium="ble",
+        impairment=ImpairmentSpec(reorder=1.0),
+    )
+    result = ProtocolRunner().run(spec)
+    assert result.min_committed_height == 4
+    assert result.safety.consistent

@@ -80,7 +80,7 @@ def test_representative_cells_pass_all_invariants():
     ):
         outcome = matrix.run_cell(cell)
         assert outcome.ok, f"{cell.label()}: {[r.detail for r in outcome.violations()]}"
-        assert len(outcome.reports) == 5
+        assert len(outcome.reports) == 6
 
 
 def test_cells_are_deterministic_per_seed():
@@ -199,6 +199,70 @@ def test_composed_fault_cell_passes_with_degraded_window_liveness():
     assert outcome.ok, [r.detail for r in outcome.violations()]
     drop_node = matrix.n - 2
     assert outcome.evidence.trace.committed_heights[drop_node] >= matrix.target_height
+
+
+def test_impairment_axis_multiplies_cells_and_labels():
+    matrix = ScenarioMatrix(
+        protocols=("eesmr",),
+        fault_names=("none",),
+        media=("ble",),
+        impairments=("none", "lossy"),
+    )
+    cells = matrix.cells()
+    assert len(cells) == 2
+    assert {c.impairment for c in cells} == {"none", "lossy"}
+    labels = sorted(c.label() for c in cells)
+    # Only non-default impairments tag the label.
+    assert labels[0] == "eesmr×none×ble×ring-kcast"
+    assert labels[1] == "eesmr×none×ble×ring-kcast×lossy"
+    spec = matrix.build_spec(next(c for c in cells if c.impairment == "lossy"))
+    assert spec.impairment is not None and spec.impairment.loss == 0.2
+
+
+def test_unknown_impairment_name_rejected():
+    with pytest.raises(ValueError, match="unknown impairment"):
+        ScenarioMatrix(impairments=("gremlin-field",))
+
+
+def test_uncoverable_loss_cell_skips_with_reason():
+    """Unbounded loss whose residual exceeds the retry budget's coverage
+    can never satisfy liveness: the cell must be skipped, not failed."""
+    matrix = ScenarioMatrix(
+        protocols=("eesmr",),
+        fault_names=("none",),
+        media=("ble",),
+        impairments=("loss:0.9",),
+    )
+    report = matrix.run()
+    assert report.cells_run == 0
+    assert report.cells_skipped == 1
+    assert "loss" in report.skipped[0].reason
+    report.assert_clean()
+
+
+def test_ble_operating_point_all_protocols_safe_and_live():
+    """The Fig. 2a calibrated BLE point: per-beacon loss ≈ 0.2475, and the
+    k-cast redundancy of 8 leaves a residual miss probability of
+    0.2475**8 ≈ 1.4e-5.  Every protocol must commit safely and stay live
+    with the calibrated impairment switched on."""
+    from repro.net.impairment import AdvertisementLossModel
+
+    model = AdvertisementLossModel()
+    assert model.receiver_miss_probability(1) == pytest.approx(0.2475, abs=1e-4)
+    assert model.receiver_miss_probability(8) == pytest.approx(0.2475**8)
+
+    matrix = ScenarioMatrix(
+        fault_names=("none",), media=("ble",), impairments=("ble-calibrated",)
+    )
+    report = matrix.run()
+    assert report.cells_run == 4
+    report.assert_clean()
+    for outcome in report.outcomes:
+        # The impairment was engaged (every hop judged), and the stats
+        # section made it into the trace.
+        stats = outcome.evidence.trace.network["impairments"]
+        assert stats["attempts"] > 0, outcome.cell.label()
+        assert outcome.evidence.trace.committed_heights, outcome.cell.label()
 
 
 @pytest.mark.matrix
