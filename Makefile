@@ -26,9 +26,12 @@
 #                     named CI lane — see docs/impairments.md)
 #   make fuzz         a short local fuzz campaign (SEED=n ITERATIONS=n to
 #                     override; see docs/fuzzing.md)
-#   make lint         ruff over src/tests/examples (critical rules only:
-#                     syntax errors, undefined names, misused f-strings —
-#                     see ruff.toml)
+#   make lint         ruff over src/tests/examples (critical rules plus
+#                     bugbear and a curated modernisation subset — see
+#                     ruff.toml)
+#   make analyze      detlint: the determinism & registry-coherence
+#                     static analyzer over src/repro (AST-only, < 10s;
+#                     PR-blocking in CI — see docs/analysis.md)
 #
 # The default pytest run (pytest.ini addopts) equals test-fast; the matrix
 # sweeps are the opt-in CI job every scale/perf PR should also run.
@@ -36,7 +39,7 @@
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python -m pytest
 PYTHON := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test-fast test-matrix test-all test-corpus test-recovery test-workload test-impairments fuzz bench bench-smoke bench-gate lint
+.PHONY: test-fast test-matrix test-all test-corpus test-recovery test-workload test-impairments fuzz bench bench-smoke bench-gate lint analyze
 
 test-fast:
 	$(PYTEST) -x -q
@@ -61,6 +64,9 @@ fuzz:
 
 lint:
 	python -m ruff check src tests examples
+
+analyze:
+	$(PYTHON) -m repro.analysis src/repro
 
 test-matrix:
 	$(PYTEST) -q -m "matrix or slow" tests/testkit

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run detlint from the command line."""
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""registry-coherence: serializer registries match the class inventory.
+
+Three registries make ``DeploymentSpec.to_dict``/``from_dict`` a true
+round trip; each is checked by cross-referencing the class ASTs against
+the serializer ASTs, so the rule fires at PR time when someone adds an
+atom/engine/field and forgets the registry side:
+
+* **fault atoms** — every *leaf* subclass of ``Fault`` (public, i.e.
+  not underscore-prefixed; intermediate bases like ``ByzantineFault``
+  may stay unregistered) must appear in ``FAULT_KINDS``, must be a
+  ``@dataclass`` (``fault_from_dict`` rebuilds with ``cls(**fields)``),
+  and must not declare underscore-prefixed dataclass fields
+  (:meth:`Fault.describe` skips them, so they would silently drop out
+  of the round trip).  Names in ``FAULT_KINDS`` must resolve to actual
+  ``Fault`` subclasses.
+* **workload engines** — every leaf subclass of ``WorkloadEngine`` must
+  appear in ``WORKLOAD_KINDS`` *and* be constructed somewhere in
+  ``workload_from_dict``.
+* **impairment schema** — ``ImpairmentSpec``'s dataclass fields, the
+  ``_SPEC_KEYS`` allowlist that ``impairment_from_dict`` validates
+  against, and the keys ``describe()`` can emit must all agree.
+
+Each sub-check anchors on names (``Fault`` + ``FAULT_KINDS`` and so on)
+and silently skips when its anchors are absent from the analyzed file
+set, so scoped runs and self-test fixtures work without the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.context import (
+    ModuleContext,
+    ProjectIndex,
+    dataclass_fields,
+    has_decorator,
+    names_in,
+    string_constants_in,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, register
+
+
+@register
+class RegistryCoherenceChecker(Checker):
+    name = "registry-coherence"
+    description = (
+        "FAULT_KINDS/WORKLOAD_KINDS/impairment schema must match the class "
+        "inventory — unregistered atoms break spec round-trips silently"
+    )
+    scope = "project"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        yield from self._check_fault_registry(index)
+        yield from self._check_workload_registry(index)
+        yield from self._check_impairment_schema(index)
+
+    # ----------------------------------------------------------- fault atoms
+    def _check_fault_registry(self, index: ProjectIndex) -> Iterator[Finding]:
+        if "Fault" not in index.classes:
+            return
+        registry = index.assignment("FAULT_KINDS")
+        if registry is None:
+            return
+        registry_ctx, registry_node = registry
+        registered = names_in(registry_node.value) & set(index.classes)
+        subclasses = index.transitive_subclasses("Fault")
+        leaves = {
+            name
+            for name in index.leaf_subclasses("Fault")
+            if not name.startswith("_")
+        }
+        for name in sorted(leaves - registered):
+            ctx, cls = index.classes[name]
+            yield self.finding(
+                ctx,
+                cls,
+                f"fault atom {name} is not registered in FAULT_KINDS — "
+                "schedule_from_dict cannot rebuild it, so specs, corpus "
+                "entries and the fuzzer never see it",
+            )
+        for name in sorted(registered - subclasses):
+            yield self.finding(
+                registry_ctx,
+                registry_node,
+                f"FAULT_KINDS entry {name} is not a Fault subclass",
+            )
+        for name in sorted(registered & subclasses):
+            ctx, cls = index.classes[name]
+            if not has_decorator(cls, "dataclass"):
+                yield self.finding(
+                    ctx,
+                    cls,
+                    f"registered fault atom {name} is not a @dataclass — "
+                    "fault_from_dict rebuilds atoms with cls(**fields)",
+                )
+                continue
+            for field_name, field_node in dataclass_fields(cls):
+                if field_name.startswith("_"):
+                    yield self.finding(
+                        ctx,
+                        field_node,
+                        f"fault atom {name} declares underscore field "
+                        f"{field_name!r}: Fault.describe skips it, so it "
+                        "silently drops out of the to_dict/from_dict round "
+                        "trip — rename it or make it runtime-only state",
+                    )
+
+    # ------------------------------------------------------ workload engines
+    def _check_workload_registry(self, index: ProjectIndex) -> Iterator[Finding]:
+        if "WorkloadEngine" not in index.classes:
+            return
+        registry = index.assignment("WORKLOAD_KINDS")
+        if registry is None:
+            return
+        registry_ctx, registry_node = registry
+        registered = names_in(registry_node.value) & set(index.classes)
+        leaves = {
+            name
+            for name in index.leaf_subclasses("WorkloadEngine")
+            if not name.startswith("_")
+        }
+        deserializer = index.function("workload_from_dict")
+        handled: Set[str] = set()
+        if deserializer is not None:
+            handled = names_in(deserializer[1]) & set(index.classes)
+        for name in sorted(leaves - registered):
+            ctx, cls = index.classes[name]
+            yield self.finding(
+                ctx,
+                cls,
+                f"workload engine {name} is not registered in WORKLOAD_KINDS",
+            )
+        for name in sorted(leaves - handled if deserializer is not None else set()):
+            ctx, cls = index.classes[name]
+            yield self.finding(
+                ctx,
+                cls,
+                f"workload engine {name} is never constructed in "
+                "workload_from_dict — its describe() output cannot round-trip",
+            )
+        subclasses = index.transitive_subclasses("WorkloadEngine")
+        for name in sorted(registered - subclasses):
+            yield self.finding(
+                registry_ctx,
+                registry_node,
+                f"WORKLOAD_KINDS entry {name} is not a WorkloadEngine subclass",
+            )
+
+    # ----------------------------------------------------- impairment schema
+    def _check_impairment_schema(self, index: ProjectIndex) -> Iterator[Finding]:
+        if "ImpairmentSpec" not in index.classes:
+            return
+        keys = index.assignment("_SPEC_KEYS")
+        if keys is None:
+            return
+        keys_ctx, keys_node = keys
+        allowed = string_constants_in(keys_node.value)
+        ctx, cls = index.classes["ImpairmentSpec"]
+        fields = {name for name, _ in dataclass_fields(cls)}
+        for name in sorted(fields - allowed):
+            yield self.finding(
+                keys_ctx,
+                keys_node,
+                f"ImpairmentSpec field {name!r} is missing from _SPEC_KEYS — "
+                "impairment_from_dict rejects it as an unknown key",
+            )
+        for name in sorted(allowed - fields):
+            yield self.finding(
+                keys_ctx,
+                keys_node,
+                f"_SPEC_KEYS entry {name!r} is not an ImpairmentSpec field — "
+                "ImpairmentSpec(**entry) raises on it",
+            )
+        describe = next(
+            (
+                node
+                for node in cls.body
+                if isinstance(node, ast.FunctionDef) and node.name == "describe"
+            ),
+            None,
+        )
+        if describe is not None:
+            emitted = string_constants_in(describe)
+            for name in sorted(fields - emitted):
+                yield self.finding(
+                    ctx,
+                    describe,
+                    f"ImpairmentSpec.describe never emits field {name!r} — "
+                    "a non-default value would silently drop out of the "
+                    "serialised spec",
+                )

@@ -1,0 +1,200 @@
+"""The analyzer engine: collect files, run checkers, apply suppressions.
+
+``python -m repro.analysis`` and ``repro analyze`` both land in
+:func:`run_cli`.  The pass is purely syntactic (``ast`` over every file;
+the analyzed code is never imported), so a repo-wide run is fast enough
+to block every PR — the CI budget is < 10 s and the shipped tree runs in
+well under one.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.registry import CheckerRegistry, default_registry
+from repro.analysis.suppressions import (
+    BAD_SUPPRESSION,
+    UNUSED_SUPPRESSION,
+    parse_suppressions,
+)
+
+#: Directory names never descended into when collecting files.
+_SKIP_DIRS = {"__pycache__", ".git"}
+
+
+def collect_contexts(paths: Sequence[Path], root: Path) -> List[ModuleContext]:
+    """Parse every ``.py`` file under ``paths`` (sorted, deterministic)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    contexts = []
+    for file in sorted(set(files)):
+        contexts.append(ModuleContext.load(file, root))
+    return contexts
+
+
+class Analyzer:
+    """One configured analysis pass over a file set."""
+
+    def __init__(
+        self,
+        registry: Optional[CheckerRegistry] = None,
+        root: Optional[Path] = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.root = root or Path.cwd()
+
+    def run(
+        self,
+        paths: Sequence[Path],
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> AnalysisReport:
+        contexts = collect_contexts([Path(p) for p in paths], self.root)
+        # The meta-rules are not checkers; keep them out of the registry
+        # lookup so ``--ignore bad-suppression`` is legal.
+        meta = (BAD_SUPPRESSION, UNUSED_SUPPRESSION)
+        checker_ignore = [rule for rule in (ignore or ()) if rule not in meta]
+        checkers = self.registry.instantiate(select=select, ignore=checker_ignore or None)
+        raw: List[Finding] = []
+        for checker in checkers:
+            if checker.scope == "module":
+                for ctx in contexts:
+                    raw.extend(checker.check(ctx))
+        project_checkers = [c for c in checkers if c.scope == "project"]
+        if project_checkers:
+            index = ProjectIndex(contexts)
+            for checker in project_checkers:
+                raw.extend(checker.check_project(index))
+
+        findings: List[Finding] = []
+        suppressed = 0
+        sheets = {ctx.relpath: parse_suppressions(ctx.source) for ctx in contexts}
+        meta_ignored = set(ignore or ())
+        for finding in raw:
+            sheet = sheets.get(finding.path)
+            if sheet is not None and sheet.match(finding.line, finding.rule):
+                suppressed += 1
+            else:
+                findings.append(finding)
+        for relpath, sheet in sheets.items():
+            if BAD_SUPPRESSION not in meta_ignored:
+                for line, message in sheet.malformed:
+                    findings.append(
+                        Finding(
+                            path=relpath,
+                            line=line,
+                            column=1,
+                            rule=BAD_SUPPRESSION,
+                            message=message,
+                        )
+                    )
+            # A scoped --select run cannot distinguish "unused" from
+            # "covers a rule we did not run", so only full runs audit use.
+            if select is None and UNUSED_SUPPRESSION not in meta_ignored:
+                for suppression in sheet.unused():
+                    findings.append(
+                        Finding(
+                            path=relpath,
+                            line=suppression.line,
+                            column=1,
+                            rule=UNUSED_SUPPRESSION,
+                            message=(
+                                f"suppression for {', '.join(suppression.rules)} "
+                                "matched no finding; remove it or fix the rule list"
+                            ),
+                        )
+                    )
+        return AnalysisReport(
+            findings=sorted(findings),
+            files_analyzed=len(contexts),
+            rules_run=[c.name for c in checkers],
+            suppressed=suppressed,
+        )
+
+
+# -------------------------------------------------------------------- the CLI
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the analyzer's flags (shared by ``repro analyze``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="RULE",
+        help="skip these rules (also silences the suppression meta-rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.list_rules:
+        for entry in registry.describe():
+            print(f"{entry['rule']:32s} [{entry['scope']:7s}] {entry['description']}")
+        print(f"{BAD_SUPPRESSION:32s} [meta   ] malformed detlint suppression comment")
+        print(f"{UNUSED_SUPPRESSION:32s} [meta   ] suppression that matched no finding")
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else [Path("src/repro")]
+    for path in paths:
+        if not path.exists():
+            print(f"detlint: no such path: {path}")
+            return 2
+    analyzer = Analyzer(registry=registry)
+    try:
+        report = analyzer.run(paths, select=args.select, ignore=args.ignore)
+    except KeyError as error:
+        print(f"detlint: {error.args[0]}")
+        return 2
+    if args.format == "json":
+        print(report.render_json())
+    elif report.findings:
+        print(report.render_human())
+    else:
+        print(
+            f"detlint: clean — {report.files_analyzed} file(s), "
+            f"{len(report.rules_run)} rule(s)"
+            + (f", {report.suppressed} suppression(s) honoured" if report.suppressed else "")
+        )
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="detlint: determinism & registry-coherence static analysis",
+    )
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))

@@ -1,0 +1,79 @@
+"""Finding objects and report rendering for the determinism analyzer.
+
+A :class:`Finding` is one rule violation anchored to a file position.
+Findings are value objects with a total order (path, line, column, rule)
+so reports are stable across runs and machines — the analyzer's own
+output obeys the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source position."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col rule message``."""
+        return f"{self.path}:{self.line}:{self.column} [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding]
+    files_analyzed: int
+    rules_run: Sequence[str]
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        out: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            out.setdefault(finding.rule, []).append(finding)
+        return out
+
+    def render_human(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        counts = ", ".join(
+            f"{rule}: {len(items)}" for rule, items in sorted(self.by_rule().items())
+        )
+        summary = (
+            f"detlint: {len(self.findings)} finding(s) in {self.files_analyzed} file(s)"
+            + (f" ({counts})" if counts else "")
+            + (f"; {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines + [summary])
+
+    def render_json(self) -> str:
+        payload = {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files_analyzed": self.files_analyzed,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "ok": self.ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

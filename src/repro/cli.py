@@ -13,7 +13,9 @@ the common workflows:
   range and system-size range;
 * ``fuzz``        — run the closed-loop fault-schedule fuzzer (generate →
   detect → shrink) and optionally persist shrunk reproducers to a corpus
-  directory.
+  directory;
+* ``analyze``     — run detlint, the determinism & registry-coherence
+  static analyzer, over the source tree (see ``docs/analysis.md``).
 """
 
 from __future__ import annotations
@@ -193,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--protocols", nargs="+", default=list(PROTOCOLS), choices=list(PROTOCOLS)
     )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run detlint, the determinism & registry-coherence static analyzer",
+    )
+    # The analyzer owns its flag set; keep it in one place so
+    # ``python -m repro.analysis`` and ``repro analyze`` never drift.
+    from repro.analysis import add_arguments as add_analysis_arguments
+
+    add_analysis_arguments(analyze)
     return parser
 
 
@@ -409,6 +421,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_feasibility(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "analyze":
+        from repro.analysis import run_cli as run_analysis_cli
+
+        return run_analysis_cli(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -190,8 +190,8 @@ class ProtocolMessage:
         not pay for it.
         """
         if _FLYWEIGHT_ENABLED:
-            self.data_digest
-            self.wire_size_bytes
+            self.data_digest  # noqa: B018  # property read warms the memo
+            self.wire_size_bytes  # noqa: B018  # property read warms the memo
         return self
 
     def matches(self, msg_type: MessageType, view: View) -> bool:

@@ -182,6 +182,7 @@ class SimulatedNetwork:
         # Every other stochastic consumer (the impairment model, the
         # reliable sublayer's backoff jitter) derives its own child stream,
         # so new randomness can never perturb baseline delivery timing.
+        # detlint: ok rng-stream-discipline — constructor fallback for direct test construction; every session build injects the spec-derived stream (SessionBuilder passes SeededRNG(spec.seed))
         self.rng = rng or SeededRNG(0)
         self.kcast_radio = kcast_radio or BleAdvertisementKCast()
         self.unicast_radio = unicast_radio or BleGattUnicast()

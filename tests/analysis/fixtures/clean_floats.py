@@ -1,0 +1,16 @@
+# detlint-module: repro.energy.fixture_clean
+"""Clean counterpart for no-float-accumulation-order: defined sum order."""
+
+
+def total_energy(per_node):
+    drawn = {cost for cost in per_node}
+    return sum(sorted(drawn))
+
+
+def weighted(per_node):
+    drawn = [cost * 2.0 for cost in per_node]
+    return sum(drawn)
+
+
+def ledger_total(by_node):
+    return sum(by_node[node] for node in by_node)  # dict order is insertion order

@@ -1,0 +1,41 @@
+"""Clean counterpart for observer-signature-drift: bus and hooks agree."""
+
+
+class SessionObserver:
+    def on_event(self, time, label):
+        pass
+
+    def on_block_commit(self, pid, block, view, time):
+        pass
+
+    def on_session_end(self, session, result):
+        pass
+
+
+OBSERVER_HOOKS = (
+    "on_event",
+    "on_block_commit",
+    "on_session_end",
+)
+
+
+class ObserverBus:
+    def __init__(self):
+        self._observers = []
+
+    def event(self, time, label):
+        for observer in self._observers:
+            observer.on_event(time, label)
+
+    def block_commit(self, pid, block, view, time):
+        for observer in self._observers:
+            observer.on_block_commit(pid, block, view, time)
+
+    def session_end(self, session, result):
+        for observer in self._observers:
+            observer.on_session_end(session, result)
+
+
+def emit(bus: ObserverBus):
+    bus.event(1.0, "label")
+    bus.block_commit(0, object(), 1, 2.0)

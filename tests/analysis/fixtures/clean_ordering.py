@@ -1,0 +1,18 @@
+"""Clean counterpart for ordered-iteration: sets are sorted before use."""
+
+
+def schedule(nodes):
+    pending = {node for node in nodes if node % 2}
+    for node in sorted(pending):
+        emit(node)
+    order = sorted(pending)
+    labels = [str(node) for node in sorted(pending)]
+    joined = ",".join(sorted({"a", "b", "c"}))
+    by_name = {"a": 1, "b": 2}
+    for key in by_name:  # dicts iterate in insertion order: not flagged
+        emit(key)
+    return order, labels, joined
+
+
+def emit(node):
+    return node

@@ -1,0 +1,12 @@
+"""Clean counterpart for no-unseeded-randomness: seeded streams only."""
+
+from repro.sim.rng import SeededRNG, derive_seed
+
+
+def draw(seed: int) -> float:
+    rng = SeededRNG(derive_seed(seed, "fixture", "draw"))
+    return rng.random()
+
+
+def request_id(rng: SeededRNG) -> int:
+    return rng.child("request-id").randrange(2**63)

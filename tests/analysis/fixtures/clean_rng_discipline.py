@@ -1,0 +1,11 @@
+"""Clean counterpart for rng-stream-discipline: derived streams only."""
+
+from repro.sim.rng import SeededRNG, derive_seed
+
+
+def derived_stream(spec_seed: int) -> SeededRNG:
+    return SeededRNG(derive_seed(spec_seed, "fixture", "stream"))
+
+
+def child_stream(rng: SeededRNG) -> SeededRNG:
+    return rng.child("fixture-child")

@@ -1,0 +1,20 @@
+# detlint-module: repro.energy.fixture_planted
+"""Planted violations for no-float-accumulation-order (never imported).
+
+The magic comment above scopes this fixture into the energy path, where
+float sums feed the conservation invariant.
+"""
+
+
+def total_energy(per_node):
+    drawn = {cost for cost in per_node}
+    return sum(drawn)  # finding: sum over a set
+
+
+def weighted(per_node):
+    drawn = {cost for cost in per_node}
+    return sum(cost * 2.0 for cost in drawn)  # finding: generator over a set
+
+
+def display_total():
+    return sum({0.1, 0.2, 0.3})  # finding: sum over a set display

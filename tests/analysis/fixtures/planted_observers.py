@@ -1,0 +1,45 @@
+"""Planted violations for observer-signature-drift (never imported).
+
+A self-contained mini observer protocol whose bus drifted from the
+hook signatures in every way the rule is meant to catch.
+"""
+
+
+class SessionObserver:
+    def on_event(self, time, label):
+        pass
+
+    def on_block_commit(self, pid, block, view, time):
+        pass
+
+    def on_session_end(self, session, result):
+        pass
+
+
+OBSERVER_HOOKS = (
+    "on_event",
+    "on_block_commit",
+    "on_teardown",  # finding: SessionObserver does not define on_teardown
+    # finding: on_session_end is missing from this tuple
+)
+
+
+class ObserverBus:
+    def __init__(self):
+        self._observers = []
+
+    def event(self, time, label):
+        for observer in self._observers:
+            observer.on_event(time, label)
+
+    def block_commit(self, pid, block):
+        for observer in self._observers:
+            observer.on_block_commit(pid, block)  # finding: hook takes 4 args
+
+    def session_end(self, session, result):
+        for observer in self._observers:
+            observer.on_missing(session, result)  # finding: undefined hook
+
+
+def emit(bus: ObserverBus):
+    bus.event("only-one-arg")  # finding: dispatch takes 2 args

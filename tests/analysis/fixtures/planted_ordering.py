@@ -1,0 +1,15 @@
+"""Planted violations for ordered-iteration (never imported)."""
+
+
+def schedule(nodes):
+    pending = {node for node in nodes if node % 2}
+    for node in pending:  # finding: for-loop over a set
+        emit(node)
+    order = list(pending)  # finding: list() materialises hash order
+    labels = [str(node) for node in pending]  # finding: comprehension over a set
+    joined = ",".join({"a", "b", "c"})  # finding: join over a set display
+    return order, labels, joined
+
+
+def emit(node):
+    return node

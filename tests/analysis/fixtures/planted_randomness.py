@@ -1,0 +1,18 @@
+"""Planted violations for no-unseeded-randomness (never imported)."""
+
+import os
+import random  # finding: import of the stdlib random module
+import uuid
+from secrets import token_bytes  # finding: OS entropy
+
+
+def draw() -> float:
+    return random.random()
+
+
+def entropy() -> bytes:
+    return os.urandom(8) + token_bytes(4)  # finding: os.urandom
+
+
+def request_id() -> str:
+    return str(uuid.uuid4())  # finding: uuid.uuid4

@@ -1,0 +1,18 @@
+"""Planted violations for rng-stream-discipline (never imported)."""
+
+import random
+
+from repro.sim.rng import SeededRNG
+
+
+def improvised_stream():
+    return SeededRNG(42)  # finding: hard-coded root seed
+
+
+def rewind(rng):
+    rng.seed(7)  # finding: in-place re-seed of a shared stream
+    return rng
+
+
+def raw_generator():
+    return random.Random(3)  # finding: bypasses the seeded wrapper

@@ -1,0 +1,16 @@
+"""Planted violations for slots-discipline (never imported)."""
+
+
+class Event:  # finding: hot-path class without __slots__
+    def __init__(self, time, label):
+        self.time = time
+        self.label = label
+
+
+class TimerEvent(Event):  # finding: subclass also needs its own __slots__
+    pass
+
+
+class DisseminationPlan:  # finding: hot-path class without __slots__
+    def __init__(self, hops):
+        self.hops = hops

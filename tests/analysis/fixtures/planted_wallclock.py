@@ -1,0 +1,17 @@
+"""Planted violations for no-wall-clock (never imported)."""
+
+import time
+from datetime import datetime
+from time import monotonic  # finding: from-import of a wall-clock reader
+
+
+def stamp() -> float:
+    return time.time()  # finding: wall-clock read
+
+
+def tick() -> float:
+    return time.monotonic() + monotonic()  # finding: wall-clock read
+
+
+def today() -> str:
+    return datetime.now().isoformat()  # finding: wall-clock read

@@ -10,6 +10,7 @@ import pickle
 
 import pytest
 
+from repro.sim.scheduler import SimulationError
 from repro.testkit.scenarios import (
     CellOutcome,
     ScenarioCell,
@@ -75,7 +76,7 @@ def test_parallel_default_reads_environment_knob(monkeypatch):
 def test_parallel_worker_failure_propagates():
     """A cell that raises inside a worker must surface, not vanish."""
     matrix = ScenarioMatrix(**SMALL, max_events=1)  # guaranteed livelock trip
-    with pytest.raises(Exception):
+    with pytest.raises(SimulationError, match="max_events"):
         matrix.run(parallel=2)
 
 
